@@ -1,0 +1,81 @@
+// Ablation: sensitivity of the parameter-free determination to the
+// expected-utility prior (DESIGN.md §5). Sweeps the prior equivalent-
+// sample-size fraction h and the CQ̄ estimation sample size, and
+// reports the determined pattern plus its violation-detection
+// F-measure on Rule 3. The paper's claim is that no user-facing
+// parameter is needed; this quantifies how robust the answer is to the
+// two internal constants that replace user parameters.
+
+#include <cstdio>
+
+#include "benchmarks/bench_util.h"
+#include "data/corruptor.h"
+#include "data/generators.h"
+#include "detect/detection_eval.h"
+#include "detect/violation_detector.h"
+
+int main() {
+  std::printf("=== Ablation: expected-utility prior (Rule 3) ===\n");
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = 150;
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  dd::RuleSpec rule{{"name", "address"}, {"city", "type"}};
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = dd::bench::BenchPairs();
+  auto matching =
+      dd::BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+  if (!matching.ok()) return 1;
+
+  dd::CorruptorOptions copts;
+  copts.corrupt_fraction = 0.08;
+  auto corrupted = dd::InjectViolations(data, {"city"}, copts);
+  if (!corrupted.ok()) return 1;
+  dd::MatchingOptions detect_opts = mopts;
+  detect_opts.max_pairs = 0;
+  auto dirty_matching = dd::BuildMatchingRelation(
+      corrupted->dirty, rule.AllAttributes(), detect_opts);
+  if (!dirty_matching.ok()) return 1;
+  auto dirty_rule = dd::ResolveRule(*dirty_matching, rule);
+  if (!dirty_rule.ok()) return 1;
+
+  auto evaluate = [&](const dd::DetermineOptions& options, const char* label) {
+    auto result = dd::DetermineThresholds(*matching, rule, options);
+    if (!result.ok() || result->patterns.empty()) {
+      std::printf("%-24s error\n", label);
+      return;
+    }
+    const auto& best = result->patterns.front();
+    dd::PairList found = dd::DetectViolationsIn(*dirty_matching, *dirty_rule,
+                                                best.pattern);
+    dd::DetectionQuality q =
+        dd::EvaluateDetection(found, corrupted->truth_pairs);
+    std::printf("%-24s %-22s CQ=%.3f prior=%.3f U=%.4f F=%.4f\n", label,
+                dd::PatternToString(best.pattern).c_str(),
+                best.measures.confidence * best.measures.quality,
+                result->prior_mean_cq, best.utility, q.f_measure);
+  };
+
+  std::printf("\nprior strength h (equivalent sample fraction):\n");
+  for (double h : {0.005, 0.02, 0.05, 0.1, 0.2}) {
+    auto options = dd::bench::ApproachOptions("DAP+PAP");
+    options.utility.prior_strength = h;
+    char label[32];
+    std::snprintf(label, sizeof(label), "h = %.3f", h);
+    evaluate(options, label);
+  }
+
+  std::printf("\nCQ-bar estimation sample size:\n");
+  for (std::size_t sample : {25u, 50u, 100u, 200u, 400u}) {
+    auto options = dd::bench::ApproachOptions("DAP+PAP");
+    options.prior_sample_size = sample;
+    char label[32];
+    std::snprintf(label, sizeof(label), "sample = %zu", sample);
+    evaluate(options, label);
+  }
+
+  std::printf("\nexpected shape: the chosen pattern and its detection\n"
+              "F-measure are stable across a wide range of both internal\n"
+              "constants — the determination is effectively parameter-free.\n");
+  return 0;
+}

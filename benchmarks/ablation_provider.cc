@@ -1,0 +1,54 @@
+// Ablation: paper-faithful O(M)-per-count scanning vs the prefix-sum
+// grid extension (DESIGN.md §5), end to end. Runs the full DAP+PAP
+// determination on every rule under three providers —
+//   scan         re-scan all of M per count (paper's cost model)
+//   scan_subset  scan only the tuples satisfying ϕ[X]
+//   grid         O(M + d^c) build, O(1) counts
+// — and verifies all three return the same maximum expected utility.
+
+#include <cmath>
+#include <cstdio>
+
+#include "benchmarks/bench_util.h"
+
+int main() {
+  std::printf("=== Ablation: measure provider (DAP+PAP, largest U) ===\n");
+  const std::size_t pairs = dd::bench::BenchPairs();
+  std::printf("fixed |M| = %zu\n", pairs);
+  const char* providers[] = {"scan", "scan_subset", "grid"};
+
+  for (const auto& rule : dd::bench::kRules) {
+    dd::bench::RuleWorkload w = dd::bench::MakeRuleWorkload(rule.number, pairs);
+    std::printf("\n%s\n", rule.label);
+    std::printf("%-12s %12s %16s %12s\n", "provider", "time", "rows scanned",
+                "best U");
+    double reference = -1.0;
+    bool mismatch = false;
+    for (const char* provider : providers) {
+      auto opts = dd::bench::ApproachOptions("DAP+PAP");
+      opts.provider = provider;
+      auto result = dd::DetermineThresholds(w.matching, w.rule, opts);
+      if (!result.ok() || result->patterns.empty()) {
+        std::printf("%-12s %12s\n", provider, "error");
+        continue;
+      }
+      const double utility = result->patterns.front().utility;
+      if (reference < 0.0) {
+        reference = utility;
+      } else if (std::fabs(utility - reference) > 1e-9) {
+        mismatch = true;
+      }
+      std::printf("%-12s %11.3fs %16llu %12.4f\n", provider,
+                  result->elapsed_seconds,
+                  static_cast<unsigned long long>(
+                      result->provider_stats.rows_scanned),
+                  utility);
+    }
+    std::printf("providers agree on the optimum: %s\n",
+                mismatch ? "NO (BUG)" : "yes");
+  }
+  std::printf("\nexpected shape: grid >> scan_subset > scan in speed, with\n"
+              "identical answers — the pruning algorithms matter exactly\n"
+              "when counting is expensive.\n");
+  return 0;
+}

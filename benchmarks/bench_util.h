@@ -1,0 +1,66 @@
+// Shared workload setup for the per-table / per-figure benchmark
+// harnesses. Each harness regenerates one table or figure of the
+// paper's evaluation section (§VI) on the synthetic stand-ins for the
+// Cora / Restaurant / CiteSeer data sets (see DESIGN.md §3).
+//
+// Environment knobs (all harnesses):
+//   DD_BENCH_PAIRS  — matching-relation size for fixed-size experiments
+//                     (default 20000)
+//   DD_BENCH_SCALE  — multiplies every data size (default 1.0)
+
+#ifndef DD_BENCHMARKS_BENCH_UTIL_H_
+#define DD_BENCHMARKS_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/determiner.h"
+#include "data/generators.h"
+#include "matching/builder.h"
+#include "matching/matching_relation.h"
+
+namespace dd::bench {
+
+// The four rules of the paper's experiments.
+struct RuleId {
+  int number;             // 1..4
+  const char* label;      // "Rule 1: cora(author, title -> venue, year)"
+};
+
+inline constexpr RuleId kRules[] = {
+    {1, "Rule 1: cora(author, title -> venue, year)"},
+    {2, "Rule 2: cora(venue -> address, publisher, editor)"},
+    {3, "Rule 3: restaurant(name, address -> city, type)"},
+    {4, "Rule 4: citeseer(address, affiliation, description -> subject)"},
+};
+
+struct RuleWorkload {
+  std::string label;
+  RuleSpec rule;
+  MatchingRelation matching;
+};
+
+// Builds the matching relation for one of the paper's rules with |M| =
+// max_pairs matching tuples (dmax = 10, deterministic seeds).
+RuleWorkload MakeRuleWorkload(int rule_number, std::size_t max_pairs);
+
+// Reads DD_BENCH_PAIRS (default `fallback`), scaled by DD_BENCH_SCALE.
+std::size_t BenchPairs(std::size_t fallback = 20000);
+
+// Applies DD_BENCH_SCALE to a size.
+std::size_t Scaled(std::size_t size);
+
+// Data-size sweep for the scalability figures (paper: 100k..1m; the
+// defaults here are 20k..100k so the whole suite runs in minutes —
+// raise DD_BENCH_SCALE to reproduce the paper's sizes).
+std::vector<std::size_t> ScalabilitySizes();
+
+// DetermineOptions for the named approach: "DA+PA", "DA+PAP", "DAP+PAP"
+// (DA+PAP uses mid-first, DAP+PAP top-first, per the paper §V).
+DetermineOptions ApproachOptions(const std::string& approach,
+                                 std::size_t top_l = 1);
+
+}  // namespace dd::bench
+
+#endif  // DD_BENCHMARKS_BENCH_UTIL_H_

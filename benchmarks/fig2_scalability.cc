@@ -1,0 +1,44 @@
+// Regenerates paper Figure 2: time cost vs data size (matching tuples)
+// for DA+PA, DA+PAP and DAP+PAP on all four rules, returning the
+// largest-Ū answer. The paper sweeps 100k..1m matching tuples; the
+// default here sweeps 20k..100k (set DD_BENCH_SCALE=10 for the paper's
+// sizes). Expected shape: linear growth in |M|; DA+PAP below DA+PA;
+// DAP+PAP lowest (or tied).
+
+#include <cstdio>
+
+#include "benchmarks/bench_util.h"
+#include "common/stopwatch.h"
+
+int main() {
+  std::printf("=== Figure 2: time performance on various data sizes "
+              "(return largest U) ===\n");
+  const char* approaches[] = {"DA+PA", "DA+PAP", "DAP+PAP"};
+  const auto sizes = dd::bench::ScalabilitySizes();
+
+  for (const auto& rule : dd::bench::kRules) {
+    std::printf("\n%s\n", rule.label);
+    std::printf("%10s", "|M|");
+    for (const char* a : approaches) std::printf(" %12s", a);
+    std::printf("\n");
+    for (std::size_t size : sizes) {
+      dd::bench::RuleWorkload w =
+          dd::bench::MakeRuleWorkload(rule.number, size);
+      std::printf("%10zu", w.matching.num_tuples());
+      for (const char* a : approaches) {
+        auto opts = dd::bench::ApproachOptions(a);
+        auto result = dd::DetermineThresholds(w.matching, w.rule, opts);
+        if (!result.ok()) {
+          std::printf(" %12s", "error");
+          continue;
+        }
+        std::printf(" %11.3fs", result->elapsed_seconds);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nexpected shape (paper): linear in |M|; DA+PAP < DA+PA; "
+              "DAP+PAP <= DA+PAP.\n");
+  return 0;
+}

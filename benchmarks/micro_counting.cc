@@ -1,0 +1,147 @@
+// Ablation micro-benchmarks for the measure providers (DESIGN.md §5):
+// paper-faithful O(M) scan counting vs the O(1) prefix-sum grid
+// extension, plus grid build cost, expected-utility integration, and
+// lattice prune cost.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/candidate_lattice.h"
+#include "core/expected_utility.h"
+#include "core/measure_provider.h"
+#include "matching/matching_relation.h"
+
+namespace {
+
+dd::MatchingRelation RandomMatching(std::size_t attrs, int dmax,
+                                    std::size_t tuples, std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < attrs; ++a) names.push_back("a" + std::to_string(a));
+  dd::MatchingRelation m(std::move(names), dmax);
+  dd::Rng rng(seed);
+  std::vector<dd::Level> levels(attrs);
+  for (std::size_t t = 0; t < tuples; ++t) {
+    for (auto& l : levels) {
+      l = static_cast<dd::Level>(
+          rng.NextBounded(static_cast<std::uint64_t>(dmax) + 1));
+    }
+    m.AddTuple(static_cast<std::uint32_t>(2 * t),
+               static_cast<std::uint32_t>(2 * t + 1), levels);
+  }
+  return m;
+}
+
+void BM_ScanCountXY(benchmark::State& state) {
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  dd::MatchingRelation m = RandomMatching(4, 10, tuples, 1);
+  dd::ResolvedRule rule{{0, 1}, {2, 3}};
+  dd::ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({5, 5});
+  int y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.CountXY({y % 11, (y + 3) % 11}));
+    ++y;
+  }
+  state.counters["rows_per_second"] = benchmark::Counter(
+      static_cast<double>(tuples),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_ScanCountXY)->Arg(20000)->Arg(100000)->Arg(500000);
+
+void BM_ScanCountXYThreads(benchmark::State& state) {
+  dd::MatchingRelation m = RandomMatching(4, 10, 500000, 1);
+  dd::ResolvedRule rule{{0, 1}, {2, 3}};
+  dd::ScanMeasureProvider provider(
+      m, rule, /*full_scan=*/true,
+      static_cast<std::size_t>(state.range(0)));
+  provider.SetLhs({5, 5});
+  int y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.CountXY({y % 11, (y + 3) % 11}));
+    ++y;
+  }
+}
+BENCHMARK(BM_ScanCountXYThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_GridCountXY(benchmark::State& state) {
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  dd::MatchingRelation m = RandomMatching(4, 10, tuples, 1);
+  dd::ResolvedRule rule{{0, 1}, {2, 3}};
+  auto provider = dd::GridMeasureProvider::Create(m, rule);
+  if (!provider.ok()) {
+    state.SkipWithError("grid creation failed");
+    return;
+  }
+  provider.value()->SetLhs({5, 5});
+  int y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(provider.value()->CountXY({y % 11, (y + 3) % 11}));
+    ++y;
+  }
+}
+BENCHMARK(BM_GridCountXY)->Arg(20000)->Arg(100000)->Arg(500000);
+
+void BM_GridBuild(benchmark::State& state) {
+  const std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  dd::MatchingRelation m = RandomMatching(4, 10, tuples, 1);
+  dd::ResolvedRule rule{{0, 1}, {2, 3}};
+  for (auto _ : state) {
+    auto provider = dd::GridMeasureProvider::Create(m, rule);
+    benchmark::DoNotOptimize(provider);
+  }
+}
+BENCHMARK(BM_GridBuild)->Arg(20000)->Arg(100000);
+
+void BM_ExpectedUtility(benchmark::State& state) {
+  dd::UtilityOptions opts;
+  opts.prior_mean_cq = 0.3;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t total = n * 2;
+  double cq = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::ExpectedUtility(total, n, cq, 0.9, opts));
+    cq += 0.01;
+    if (cq > 0.9) cq = 0.1;
+  }
+}
+BENCHMARK(BM_ExpectedUtility)->Arg(100)->Arg(100000)->Arg(1000000);
+
+void BM_ExpectedUtilityIntegration(benchmark::State& state) {
+  dd::UtilityOptions opts;
+  opts.prior_mean_cq = 0.3;
+  opts.method = dd::UtilityMethod::kNumericIntegration;
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t total = n * 2;
+  double cq = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::ExpectedUtility(total, n, cq, 0.9, opts));
+    cq += 0.01;
+    if (cq > 0.9) cq = 0.1;
+  }
+}
+BENCHMARK(BM_ExpectedUtilityIntegration)->Arg(100)->Arg(100000);
+
+void BM_LatticePrune(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dd::CandidateLattice lat(dims, 10);
+    dd::Levels top(dims, 10);
+    lat.Prune(top, 0.5);
+    benchmark::DoNotOptimize(lat.alive_count());
+  }
+}
+BENCHMARK(BM_LatticePrune)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_MakeOrder(benchmark::State& state) {
+  const std::size_t dims = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto order = dd::CandidateLattice::MakeOrder(
+        dims, 10, dd::ProcessingOrder::kMidFirst);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_MakeOrder)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// Micro-benchmarks of matching-relation construction: all-pairs vs
+// sampled builds over the synthetic generators.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generators.h"
+#include "matching/builder.h"
+
+namespace {
+
+void BM_BuildMatchingAllPairs(benchmark::State& state) {
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = static_cast<std::size_t>(state.range(0));
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    auto m = dd::BuildMatchingRelation(data.relation,
+                                       {"name", "address", "city"}, mopts);
+    benchmark::DoNotOptimize(m);
+    tuples = m.ok() ? m->num_tuples() : 0;
+  }
+  state.counters["matching_tuples"] = static_cast<double>(tuples);
+  state.counters["pairs_per_second"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BuildMatchingAllPairs)->Arg(30)->Arg(60)->Arg(120);
+
+void BM_BuildMatchingSampled(benchmark::State& state) {
+  dd::CoraOptions gopts;
+  gopts.num_entities = 150;
+  dd::GeneratedData data = dd::GenerateCora(gopts);
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto m = dd::BuildMatchingRelation(data.relation, {"author", "title"},
+                                       mopts);
+    benchmark::DoNotOptimize(m);
+  }
+  state.counters["pairs_per_second"] = benchmark::Counter(
+      static_cast<double>(state.range(0)),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BuildMatchingSampled)->Arg(5000)->Arg(20000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

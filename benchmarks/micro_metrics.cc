@@ -1,0 +1,97 @@
+// Micro-benchmarks of the distance metric substrate: exact vs banded
+// Levenshtein, q-gram, Jaccard and cosine throughput on realistic
+// attribute values.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "metric/metric.h"
+
+namespace {
+
+std::vector<std::string> SampleValues() {
+  return {
+      "West Wood Hotel",
+      "Fifth Avenue, 61st Street",
+      "5th Avenue, 61st St.",
+      "Proceedings of the International Conference on Data Engineering",
+      "Proc. of the Intl. Conf. on Data Engineering",
+      "Department of Computer Science and Engineering, HKUST",
+      "No.3, West Lake Road.",
+      "#3, West Lake Rd.",
+      "efficient discovery of functional dependencies from relational data",
+  };
+}
+
+void BM_LevenshteinExact(benchmark::State& state) {
+  dd::LevenshteinMetric lev;
+  const auto values = SampleValues();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = values[i % values.size()];
+    const auto& b = values[(i + 3) % values.size()];
+    benchmark::DoNotOptimize(lev.Distance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_LevenshteinExact);
+
+void BM_LevenshteinBanded(benchmark::State& state) {
+  dd::LevenshteinMetric lev;
+  const auto values = SampleValues();
+  const double cap = static_cast<double>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = values[i % values.size()];
+    const auto& b = values[(i + 3) % values.size()];
+    benchmark::DoNotOptimize(lev.BoundedDistance(a, b, cap));
+    ++i;
+  }
+}
+BENCHMARK(BM_LevenshteinBanded)->Arg(2)->Arg(10)->Arg(30);
+
+void BM_QGram(benchmark::State& state) {
+  dd::QGramMetric qgram(static_cast<std::size_t>(state.range(0)));
+  const auto values = SampleValues();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = values[i % values.size()];
+    const auto& b = values[(i + 3) % values.size()];
+    benchmark::DoNotOptimize(qgram.Distance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_QGram)->Arg(2)->Arg(3);
+
+void BM_Jaccard(benchmark::State& state) {
+  dd::JaccardMetric jac;
+  const auto values = SampleValues();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = values[i % values.size()];
+    const auto& b = values[(i + 3) % values.size()];
+    benchmark::DoNotOptimize(jac.Distance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Jaccard);
+
+void BM_Cosine(benchmark::State& state) {
+  dd::CosineMetric cos;
+  const auto values = SampleValues();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = values[i % values.size()];
+    const auto& b = values[(i + 3) % values.size()];
+    benchmark::DoNotOptimize(cos.Distance(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_Cosine);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Regenerates paper Table IV: "Effectiveness of example results from
+// Rule 3" — restaurant(name, address -> city, type). The interesting
+// finding reproduced here is independence: the thresholds on name and
+// type drift to dmax because no dependency exists on those attributes.
+
+#include <cstdio>
+
+#include "benchmarks/bench_util.h"
+#include "core/determiner.h"
+#include "data/corruptor.h"
+#include "data/generators.h"
+#include "detect/detection_eval.h"
+#include "detect/violation_detector.h"
+
+int main() {
+  std::printf("=== Table IV: effectiveness of example results from Rule 3 "
+              "===\n");
+  const std::size_t pairs = dd::bench::BenchPairs();
+  std::printf("workload: synthetic restaurant, |M| = %zu, dmax = 10, "
+              "seed = 1\n\n",
+              pairs);
+
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = 180;
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  dd::RuleSpec rule{{"name", "address"}, {"city", "type"}};
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = pairs;
+  auto matching =
+      dd::BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+  if (!matching.ok()) return 1;
+
+  auto opts = dd::bench::ApproachOptions("DAP+PAP", /*top_l=*/6);
+  auto determined = dd::DetermineThresholds(*matching, rule, opts);
+  if (!determined.ok()) return 1;
+
+  dd::CorruptorOptions copts;
+  copts.corrupt_fraction = 0.08;
+  auto corrupted = dd::InjectViolations(data, {"city"}, copts);
+  if (!corrupted.ok()) return 1;
+  std::printf("injected %zu ground-truth violating pairs (on city)\n\n",
+              corrupted->truth_pairs.size());
+
+  dd::MatchingOptions detect_opts = mopts;
+  detect_opts.max_pairs = 0;
+  auto dirty_matching = dd::BuildMatchingRelation(
+      corrupted->dirty, rule.AllAttributes(), detect_opts);
+  if (!dirty_matching.ok()) return 1;
+  auto dirty_rule = dd::ResolveRule(*dirty_matching, rule);
+  if (!dirty_rule.ok()) return 1;
+  auto clean_rule = dd::ResolveRule(*matching, rule);
+  if (!clean_rule.ok()) return 1;
+  dd::ScanMeasureProvider provider(*matching, *clean_rule);
+  dd::UtilityOptions uopts;
+  uopts.prior_mean_cq = determined->prior_mean_cq;
+
+  std::printf("%-5s %-12s %-12s %8s %8s %6s %8s | %9s %7s %9s\n", "phi",
+              "phi[X]", "phi[Y]", "S", "C", "Q", "utility", "precision",
+              "recall", "f-measure");
+
+  auto evaluate = [&](const char* name, const dd::Pattern& pattern,
+                      double utility) {
+    dd::Measures m = dd::ComputeMeasures(&provider, pattern, mopts.dmax);
+    if (utility < 0.0) {
+      utility = dd::ExpectedUtility(m.total, m.lhs_count, m.confidence,
+                                    m.quality, uopts);
+    }
+    dd::PairList found =
+        dd::DetectViolationsIn(*dirty_matching, *dirty_rule, pattern);
+    dd::DetectionQuality q =
+        dd::EvaluateDetection(found, corrupted->truth_pairs);
+    std::printf("%-5s %-12s %-12s %8.4f %8.4f %6.2f %8.4f | %9.4f %7.4f "
+                "%9.4f\n",
+                name, dd::LevelsToString(pattern.lhs).c_str(),
+                dd::LevelsToString(pattern.rhs).c_str(), m.support,
+                m.confidence, m.quality, utility, q.precision, q.recall,
+                q.f_measure);
+  };
+
+  int i = 0;
+  for (const auto& p : determined->patterns) {
+    char name[8];
+    std::snprintf(name, sizeof(name), "phi%d", ++i);
+    evaluate(name, p.pattern, p.utility);
+  }
+  evaluate("fd", dd::Pattern::Fd(rule.lhs.size(), rule.rhs.size()), -1.0);
+
+  std::printf(
+      "\nexpected shape (paper): name (X side) and type (Y side) thresholds\n"
+      "sit at dmax = 10 in the best patterns - no dependency exists there -\n"
+      "while address ~> city carries the constraint. FD detects almost\n"
+      "nothing (recall ~0) due to format variants.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Plugging a custom distance metric into the pipeline. Registers a
+// domain-specific "year gap" metric plus a token-based metric for long
+// text, then determines thresholds for a CiteSeer-style rule using
+// per-attribute metric overrides (the paper treats the metric as a
+// pluggable component, citing the Bilenko et al. survey).
+//
+// Usage: custom_metric [num_entities]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/determiner.h"
+#include "data/generators.h"
+#include "matching/builder.h"
+#include "metric/metric.h"
+
+namespace {
+
+// Absolute difference in years, tolerant of formats like "1995",
+// "(1995)" and "'95" — a realistic attribute-specific metric.
+class YearGapMetric : public dd::DistanceMetric {
+ public:
+  std::string_view name() const override { return "year_gap"; }
+
+  double Distance(std::string_view a, std::string_view b) const override {
+    const int ya = ParseYear(a);
+    const int yb = ParseYear(b);
+    if (ya < 0 || yb < 0) return a == b ? 0.0 : 50.0;
+    return std::abs(ya - yb);
+  }
+
+ private:
+  static int ParseYear(std::string_view s) {
+    std::string digits;
+    for (char c : s) {
+      if (c >= '0' && c <= '9') digits += c;
+    }
+    if (digits.size() == 4) return std::atoi(digits.c_str());
+    if (digits.size() == 2) {
+      const int two = std::atoi(digits.c_str());
+      return two >= 30 ? 1900 + two : 2000 + two;
+    }
+    return -1;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_entities =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 120;
+
+  // One-time registration makes the metric available by name everywhere.
+  dd::Status reg = dd::MetricRegistry::Default().Register(
+      "year_gap", [] { return std::make_unique<YearGapMetric>(); });
+  if (!reg.ok()) {
+    std::fprintf(stderr, "registration failed: %s\n", reg.ToString().c_str());
+    return 1;
+  }
+  std::printf("Registered metrics:");
+  for (const auto& name : dd::MetricRegistry::Default().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+
+  // Demonstrate the metric directly.
+  YearGapMetric year_gap;
+  std::printf("year_gap(\"1995\", \"'96\") = %.0f\n",
+              year_gap.Distance("1995", "'96"));
+  std::printf("year_gap(\"(2001)\", \"2001\") = %.0f\n\n",
+              year_gap.Distance("(2001)", "2001"));
+
+  // Cora rule with per-attribute metric overrides: cosine tokens for the
+  // long title field, year_gap for year, default edit distance elsewhere.
+  dd::CoraOptions gopts;
+  gopts.num_entities = num_entities;
+  dd::GeneratedData cora = dd::GenerateCora(gopts);
+
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = 20000;
+  mopts.metric_overrides["title"] = "cosine";    // normalized, auto-scaled
+  mopts.metric_overrides["year"] = "year_gap";   // unnormalized, scale 1
+  auto matching = dd::BuildMatchingRelation(
+      cora.relation, {"author", "title", "venue", "year"}, mopts);
+  if (!matching.ok()) {
+    std::fprintf(stderr, "%s\n", matching.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Matching relation with custom metrics: %zu tuples\n",
+              matching->num_tuples());
+
+  dd::RuleSpec rule{{"author", "title"}, {"venue", "year"}};
+  dd::DetermineOptions dopts;
+  dopts.top_l = 5;
+  auto result = dd::DetermineThresholds(*matching, rule, dopts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTop patterns under custom metrics (%.3fs):\n",
+              result->elapsed_seconds);
+  std::printf("%-28s %8s %8s %6s %9s\n", "pattern", "D", "C", "Q", "utility");
+  for (const auto& p : result->patterns) {
+    std::printf("%-28s %8.4f %8.4f %6.2f %9.4f\n",
+                dd::PatternToString(p.pattern).c_str(), p.measures.d,
+                p.measures.confidence, p.measures.quality, p.utility);
+  }
+  std::printf(
+      "\nThe title threshold is now in cosine-distance levels (0..10 maps\n"
+      "to [0,1]), and the year threshold counts years of difference.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Quickstart: the paper's running Hotel example (Table I) end to end.
+//
+//   1. Load the six-tuple Hotel instance.
+//   2. Build the matching relation over (Address, Region).
+//   3. Compute the statistical measures of the paper's dd1 =
+//      ([Address] -> [Region], <8, 4>) — the plain-Levenshtein
+//      equivalent of the paper's q-gram-based <8, 3> — and of the FD.
+//   4. Determine the best distance threshold pattern parameter-free.
+//   5. Detect violations with both and compare.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/determiner.h"
+#include "core/measures.h"
+#include "data/generators.h"
+#include "detect/violation_detector.h"
+#include "matching/builder.h"
+
+namespace {
+
+void PrintMeasures(const char* label, const dd::Measures& m, double utility) {
+  std::printf("  %-18s D=%.4f  C=%.4f  S=%.4f  Q=%.2f  utility=%.4f\n",
+              label, m.d, m.confidence, m.support, m.quality, utility);
+}
+
+}  // namespace
+
+int main() {
+  // 1. The Hotel instance of Table I.
+  dd::GeneratedData hotel = dd::HotelExample();
+  std::printf("Hotel instance (%zu tuples):\n", hotel.relation.num_rows());
+  for (std::size_t r = 0; r < hotel.relation.num_rows(); ++r) {
+    std::printf("  t%zu: %-16s | %-26s | %s\n", r + 1,
+                hotel.relation.at(r, 0).c_str(),
+                hotel.relation.at(r, 1).c_str(),
+                hotel.relation.at(r, 2).c_str());
+  }
+
+  // 2. Pairwise matching relation (edit distance, levels 0..dmax).
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  auto matching = dd::BuildMatchingRelation(hotel.relation,
+                                            {"Address", "Region"}, mopts);
+  if (!matching.ok()) {
+    std::fprintf(stderr, "matching failed: %s\n",
+                 matching.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nMatching relation: %zu matching tuples, dmax=%d\n",
+              matching->num_tuples(), matching->dmax());
+
+  // 3. Measures of the paper's dd1 and of the FD.
+  dd::RuleSpec rule{{"Address"}, {"Region"}};
+  auto resolved = dd::ResolveRule(*matching, rule);
+  if (!resolved.ok()) return 1;
+  dd::ScanMeasureProvider provider(*matching, *resolved);
+  dd::UtilityOptions uopts;
+  uopts.prior_mean_cq =
+      dd::EstimatePriorMeanCq(&provider, 1, 1, mopts.dmax, 100, 99);
+
+  std::printf("\nMeasures on [Address] -> [Region] (prior CQ mean %.3f):\n",
+              uopts.prior_mean_cq);
+  dd::Pattern dd1{{8}, {4}};
+  dd::Measures m1 = dd::ComputeMeasures(&provider, dd1, mopts.dmax);
+  PrintMeasures("dd1 = <8, 4>:", m1,
+                dd::ExpectedUtility(m1.total, m1.lhs_count, m1.confidence,
+                                    m1.quality, uopts));
+  dd::Pattern fd = dd::Pattern::Fd(1, 1);
+  dd::Measures mf = dd::ComputeMeasures(&provider, fd, mopts.dmax);
+  PrintMeasures("fd  = <0, 0>:", mf,
+                dd::ExpectedUtility(mf.total, mf.lhs_count, mf.confidence,
+                                    mf.quality, uopts));
+
+  // 4. Parameter-free determination (DAP+PAP, top-3 answers).
+  dd::DetermineOptions dopts;
+  dopts.top_l = 3;
+  auto determined = dd::DetermineThresholds(*matching, rule, dopts);
+  if (!determined.ok()) {
+    std::fprintf(stderr, "determination failed: %s\n",
+                 determined.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nTop determined patterns:\n");
+  for (const auto& p : determined->patterns) {
+    std::printf("  %-18s D=%.4f  C=%.4f  S=%.4f  Q=%.2f  utility=%.4f\n",
+                dd::PatternToString(p.pattern).c_str(), p.measures.d,
+                p.measures.confidence, p.measures.support, p.measures.quality,
+                p.utility);
+  }
+  std::printf("  (pruning rate %.2f, %zu/%zu RHS candidates evaluated)\n",
+              determined->stats.PruningRate(), determined->stats.rhs.evaluated,
+              determined->stats.rhs.lattice_size);
+
+  // 5. Violation detection: dd1 vs FD.
+  auto show_detection = [&](const char* label, const dd::Pattern& p) {
+    auto found = dd::DetectViolations(hotel.relation, rule, p, mopts);
+    if (!found.ok()) return;
+    std::printf("  %s flags %zu pair(s):", label, found->size());
+    for (const auto& [i, j] : *found) {
+      std::printf(" (t%u,t%u)", i + 1, j + 1);
+    }
+    std::printf("\n");
+  };
+  std::printf("\nViolation detection on the Hotel instance:\n");
+  show_detection("dd1 <8,4>", dd1);
+  show_detection("fd  <0,0>", fd);
+  if (!determined->patterns.empty()) {
+    show_detection("determined", determined->patterns.front().pattern);
+  }
+  std::printf(
+      "\nNote how dd1 catches the true violation (t4,t6) that the FD\n"
+      "misses, and does not flag the format variants (t1,t2).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Rule discovery plus DD reasoning: explore all candidate rules of a
+// relation, determine each rule's best threshold pattern parameter-
+// free, reduce the winners to a minimal cover under DD implication, and
+// verify the surviving statements against the clean instance.
+//
+// Usage: rule_discovery [num_entities]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/string_util.h"
+#include "data/generators.h"
+#include "discover/rule_explorer.h"
+#include "reason/implication.h"
+#include "reason/statement.h"
+
+int main(int argc, char** argv) {
+  const std::size_t num_entities =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 80;
+
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = num_entities;
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  std::printf("restaurant instance: %zu rows, attributes {%s}\n",
+              data.relation.num_rows(),
+              data.relation.schema().ToString().c_str());
+
+  // 1. Explore every rule with up to two determinant attributes.
+  dd::ExploreOptions options;
+  options.matching.dmax = 10;
+  options.matching.max_pairs = 15000;
+  options.max_lhs_size = 2;
+  options.top_rules = 8;
+  auto rules = dd::DiscoverRules(data.relation, options);
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\ntop discovered rules (by expected utility):\n");
+  std::vector<dd::DdStatement> statements;
+  for (const auto& r : *rules) {
+    dd::DdStatement statement{r.rule, r.best.pattern};
+    std::printf("  %-48s C=%.3f Q=%.2f U=%.4f\n",
+                statement.ToString().c_str(), r.best.measures.confidence,
+                r.best.measures.quality, r.best.utility);
+    statements.push_back(std::move(statement));
+  }
+
+  // 2. Minimal cover: drop statements implied by stronger ones.
+  auto cover = dd::MinimalCover(statements, options.matching.dmax);
+  std::printf("\nminimal cover keeps %zu of %zu statements:\n", cover.size(),
+              statements.size());
+  for (const auto& s : cover) {
+    std::printf("  %s\n", s.ToString().c_str());
+  }
+
+  // 3. Verify each surviving DD on the clean instance.
+  std::printf("\nviolations on the clean instance (should be few — the\n"
+              "determined thresholds tolerate format variants):\n");
+  dd::MatchingOptions verify_opts;
+  verify_opts.dmax = options.matching.dmax;
+  for (const auto& s : cover) {
+    auto violations = dd::CountViolations(data.relation, s, verify_opts);
+    if (!violations.ok()) {
+      std::fprintf(stderr, "%s\n", violations.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-48s %zu violating pair(s)\n", s.ToString().c_str(),
+                *violations);
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Data-quality checking with determined DDs (the paper's Rule 3 and the
+// Table IV evaluation protocol): generate a clean Restaurant instance,
+// inject random violations into a dirty copy, determine thresholds from
+// the clean data, and measure detection precision/recall/F against the
+// injected ground truth — for the determined DD, for randomly chosen
+// patterns, and for the FD baseline.
+//
+// Usage: violation_detection [num_entities] [corrupt_fraction]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "core/determiner.h"
+#include "data/corruptor.h"
+#include "data/generators.h"
+#include "detect/detection_eval.h"
+#include "detect/violation_detector.h"
+#include "matching/builder.h"
+
+namespace {
+
+void Report(const char* label, const dd::Pattern& pattern,
+            const dd::Measures& m, double utility,
+            const dd::DetectionQuality& q) {
+  std::printf("%-14s %-22s S=%.4f C=%.4f Q=%.2f U=%.4f | P=%.4f R=%.4f F=%.4f\n",
+              label, dd::PatternToString(pattern).c_str(), m.support,
+              m.confidence, m.quality, utility, q.precision, q.recall,
+              q.f_measure);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t num_entities =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+  const double corrupt_fraction = argc > 2 ? std::atof(argv[2]) : 0.08;
+
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = num_entities;
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  std::printf("Clean instance: %zu restaurant records (%zu entities)\n",
+              data.relation.num_rows(), num_entities);
+
+  dd::RuleSpec rule{{"name", "address"}, {"city", "type"}};
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+
+  auto matching =
+      dd::BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+  if (!matching.ok()) {
+    std::fprintf(stderr, "%s\n", matching.status().ToString().c_str());
+    return 1;
+  }
+
+  dd::DetermineOptions dopts;
+  dopts.top_l = 3;
+  auto determined = dd::DetermineThresholds(*matching, rule, dopts);
+  if (!determined.ok()) {
+    std::fprintf(stderr, "%s\n", determined.status().ToString().c_str());
+    return 1;
+  }
+
+  dd::CorruptorOptions copts;
+  copts.corrupt_fraction = corrupt_fraction;
+  auto corrupted = dd::InjectViolations(data, {"city"}, copts);
+  if (!corrupted.ok()) {
+    std::fprintf(stderr, "%s\n", corrupted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Dirty copy: %zu corrupted rows, %zu ground-truth violating "
+              "pairs\n\n",
+              corrupted->corrupted_rows.size(), corrupted->truth_pairs.size());
+
+  auto resolved = dd::ResolveRule(*matching, rule);
+  if (!resolved.ok()) return 1;
+  dd::ScanMeasureProvider provider(*matching, *resolved);
+  dd::UtilityOptions uopts;
+  uopts.prior_mean_cq = determined->prior_mean_cq;
+
+  auto evaluate = [&](const char* label, const dd::Pattern& pattern) {
+    dd::Measures m = dd::ComputeMeasures(&provider, pattern, mopts.dmax);
+    double utility = dd::ExpectedUtility(m.total, m.lhs_count, m.confidence,
+                                         m.quality, uopts);
+    auto found = dd::DetectViolations(corrupted->dirty, rule, pattern, mopts);
+    if (!found.ok()) return;
+    dd::DetectionQuality q =
+        dd::EvaluateDetection(*found, corrupted->truth_pairs);
+    Report(label, pattern, m, utility, q);
+  };
+
+  std::printf("%-14s %-22s %s\n", "source", "pattern",
+              "measures | detection accuracy");
+  for (std::size_t i = 0; i < determined->patterns.size(); ++i) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "determined #%zu", i + 1);
+    evaluate(label, determined->patterns[i].pattern);
+  }
+
+  // Random patterns for contrast (the paper: determined patterns beat
+  // randomly selected settings).
+  dd::Rng rng(12345);
+  for (int i = 0; i < 3; ++i) {
+    dd::Pattern random_pattern;
+    for (std::size_t a = 0; a < rule.lhs.size(); ++a) {
+      random_pattern.lhs.push_back(static_cast<int>(rng.NextBounded(11)));
+    }
+    for (std::size_t a = 0; a < rule.rhs.size(); ++a) {
+      random_pattern.rhs.push_back(static_cast<int>(rng.NextBounded(11)));
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "random #%d", i + 1);
+    evaluate(label, random_pattern);
+  }
+
+  evaluate("fd", dd::Pattern::Fd(rule.lhs.size(), rule.rhs.size()));
+  std::printf(
+      "\nThe determined patterns should show the best F-measure; the FD\n"
+      "suffers low recall because format variants break exact equality.\n");
+  return 0;
+}

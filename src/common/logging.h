@@ -1,0 +1,35 @@
+// Minimal CHECK macros for invariants that indicate programmer error.
+// These abort; they are never used for data-dependent failures (those
+// return Status).
+
+#ifndef DD_COMMON_LOGGING_H_
+#define DD_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dd::internal_logging {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace dd::internal_logging
+
+#define DD_CHECK(cond)                                              \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::dd::internal_logging::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                               \
+  } while (false)
+
+#define DD_CHECK_LE(a, b) DD_CHECK((a) <= (b))
+#define DD_CHECK_LT(a, b) DD_CHECK((a) < (b))
+#define DD_CHECK_GE(a, b) DD_CHECK((a) >= (b))
+#define DD_CHECK_GT(a, b) DD_CHECK((a) > (b))
+#define DD_CHECK_EQ(a, b) DD_CHECK((a) == (b))
+#define DD_CHECK_NE(a, b) DD_CHECK((a) != (b))
+
+#endif  // DD_COMMON_LOGGING_H_

@@ -1,0 +1,107 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace dd {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}  // namespace
+
+double LogBinomialCoefficient(double n, double k) {
+  DD_CHECK_GE(k, 0.0);
+  DD_CHECK_LE(k, n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+double LogBinomialPmf(double k, double n, double p) {
+  DD_CHECK_GE(n, 0.0);
+  if (k < 0.0 || k > n) return kNegInf;
+  if (p <= 0.0) return k == 0.0 ? 0.0 : kNegInf;
+  if (p >= 1.0) return k == n ? 0.0 : kNegInf;
+  double log_coeff = LogBinomialCoefficient(n, k);
+  double log_success = (k > 0.0) ? k * std::log(p) : 0.0;
+  double log_failure = (n - k > 0.0) ? (n - k) * std::log1p(-p) : 0.0;
+  return log_coeff + log_success + log_failure;
+}
+
+double LogSumExp(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+double SimpsonIntegrate(const std::function<double(double)>& fn, double lo,
+                        double hi, std::size_t intervals) {
+  DD_CHECK_LT(lo, hi);
+  DD_CHECK_GT(intervals, 0u);
+  if (intervals % 2 != 0) ++intervals;
+  const double h = (hi - lo) / static_cast<double>(intervals);
+  double sum = fn(lo) + fn(hi);
+  for (std::size_t i = 1; i < intervals; ++i) {
+    double x = lo + h * static_cast<double>(i);
+    sum += fn(x) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return sum * h / 3.0;
+}
+
+double PosteriorMean(const std::function<double(double)>& log_weight,
+                     double peak, double sigma, double window_sigmas,
+                     std::size_t intervals) {
+  DD_CHECK_GT(intervals, 1u);
+  double lo = 0.0;
+  double hi = 1.0;
+  if (sigma > 0.0 && sigma * window_sigmas < 0.5) {
+    lo = Clamp(peak - window_sigmas * sigma, 0.0, 1.0);
+    hi = Clamp(peak + window_sigmas * sigma, 0.0, 1.0);
+    if (hi - lo < 1e-12) {
+      // Degenerate window; fall back to the full domain.
+      lo = 0.0;
+      hi = 1.0;
+    }
+  }
+
+  if (intervals % 2 != 0) ++intervals;
+  const std::size_t points = intervals + 1;
+  const double h = (hi - lo) / static_cast<double>(intervals);
+
+  // Evaluate the log integrand once and max-normalize so exp() stays
+  // finite for Binomial likelihoods with n in the millions.
+  std::vector<double> xs(points);
+  std::vector<double> logs(points);
+  double max_log = kNegInf;
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = lo + h * static_cast<double>(i);
+    logs[i] = log_weight(xs[i]);
+    max_log = std::max(max_log, logs[i]);
+  }
+  if (max_log == kNegInf) {
+    // Zero mass everywhere (should not happen for valid inputs); report
+    // the window midpoint as the least-surprising answer.
+    return 0.5 * (lo + hi);
+  }
+
+  double numer = 0.0;
+  double denom = 0.0;
+  for (std::size_t i = 0; i < points; ++i) {
+    double coeff = (i == 0 || i == points - 1) ? 1.0 : (i % 2 == 1 ? 4.0 : 2.0);
+    double w = coeff * std::exp(logs[i] - max_log);
+    denom += w;
+    numer += w * xs[i];
+  }
+  if (denom == 0.0) return 0.5 * (lo + hi);
+  return numer / denom;
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::min(std::max(x, lo), hi);
+}
+
+}  // namespace dd

@@ -1,0 +1,51 @@
+// Numeric building blocks for the expected-utility computation:
+// log-gamma based Binomial log-pmf (with a continuous extension in the
+// success count), log-sum-exp, and windowed composite-Simpson
+// integration of sharply peaked posteriors.
+
+#ifndef DD_COMMON_MATH_UTIL_H_
+#define DD_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dd {
+
+// log of the binomial coefficient C(n, k) generalized to real k via
+// lgamma: lgamma(n+1) - lgamma(k+1) - lgamma(n-k+1).
+// Requires 0 <= k <= n.
+double LogBinomialCoefficient(double n, double k);
+
+// log f(k; n, p) for the Binomial pmf, continuously extended to real k
+// in [0, n]. Handles p == 0 and p == 1 limits exactly:
+//   p == 0 -> 0 successes have probability 1 (log 0 otherwise);
+//   p == 1 -> n successes have probability 1.
+// Returns -inf for impossible outcomes.
+double LogBinomialPmf(double k, double n, double p);
+
+// Numerically stable log(exp(a) + exp(b)).
+double LogSumExp(double a, double b);
+
+// Integrates fn over [lo, hi] with composite Simpson using `intervals`
+// subintervals (rounded up to even). Requires lo < hi.
+double SimpsonIntegrate(const std::function<double(double)>& fn, double lo,
+                        double hi, std::size_t intervals);
+
+// Computes the posterior mean
+//     E[u] = Int u * exp(log_weight(u)) du / Int exp(log_weight(u)) du
+// over u in [0, 1], where log_weight is an unnormalized log density that
+// is allowed to be sharply peaked. `peak` is a hint for the mode and
+// `sigma` for the scale; the integration window is peak +- window_sigmas
+// * sigma clamped to [0, 1] (widened to the whole interval when sigma is
+// large). Both integrals are max-normalized in log space before
+// exponentiation so that n in the millions stays finite.
+double PosteriorMean(const std::function<double(double)>& log_weight,
+                     double peak, double sigma, double window_sigmas = 12.0,
+                     std::size_t intervals = 512);
+
+// Clamps x to [lo, hi].
+double Clamp(double x, double lo, double hi);
+
+}  // namespace dd
+
+#endif  // DD_COMMON_MATH_UTIL_H_

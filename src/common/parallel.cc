@@ -1,0 +1,35 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace dd {
+
+std::size_t EffectiveChunks(std::size_t count, std::size_t threads) {
+  if (threads <= 1 || count <= 1) return 1;
+  return std::min(threads, count);
+}
+
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t chunks = EffectiveChunks(count, threads);
+  if (chunks == 1) {
+    fn(0, 0, count);
+    return;
+  }
+  const std::size_t per_chunk = (count + chunks - 1) / chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(count, begin + per_chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, c, begin, end] { fn(c, begin, end); });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace dd

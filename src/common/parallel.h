@@ -1,0 +1,28 @@
+// Minimal data-parallel helper: static range partitioning over
+// std::thread. The counting scans over the matching relation are
+// embarrassingly parallel; this is all the machinery they need.
+
+#ifndef DD_COMMON_PARALLEL_H_
+#define DD_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace dd {
+
+// Invokes fn(chunk_index, begin, end) for a static partition of
+// [0, count) into `threads` contiguous chunks, running chunks on
+// separate threads. threads <= 1 (or count small) runs inline on the
+// calling thread. fn must be safe to call concurrently for disjoint
+// chunks. Blocks until every chunk finished.
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t chunk, std::size_t begin,
+                                          std::size_t end)>& fn);
+
+// Number of chunks ParallelFor will actually use (never more than
+// count, never less than 1).
+std::size_t EffectiveChunks(std::size_t count, std::size_t threads);
+
+}  // namespace dd
+
+#endif  // DD_COMMON_PARALLEL_H_

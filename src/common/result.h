@@ -1,0 +1,68 @@
+// Result<T>: a value or a Status, in the spirit of absl::StatusOr<T>.
+
+#ifndef DD_COMMON_RESULT_H_
+#define DD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dd {
+
+// Holds either a T (when the operation succeeded) or a non-OK Status.
+// Accessing value() on an error Result is a programmer error and asserts.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites (`return value;` / `return Status::...;`) natural.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is engaged.
+};
+
+// Propagates the error of a Result expression, otherwise assigns the
+// value to `lhs`. Usable in functions returning Status or Result<U>.
+#define DD_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto DD_CONCAT_(_dd_result_, __LINE__) = (expr); \
+  if (!DD_CONCAT_(_dd_result_, __LINE__).ok())     \
+    return DD_CONCAT_(_dd_result_, __LINE__).status(); \
+  lhs = std::move(DD_CONCAT_(_dd_result_, __LINE__)).value()
+
+#define DD_CONCAT_INNER_(a, b) a##b
+#define DD_CONCAT_(a, b) DD_CONCAT_INNER_(a, b)
+
+}  // namespace dd
+
+#endif  // DD_COMMON_RESULT_H_

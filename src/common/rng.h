@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation (xoshiro256** seeded via
+// splitmix64). Every experiment in the repository draws randomness from
+// an explicit seed so runs are reproducible bit-for-bit.
+
+#ifndef DD_COMMON_RNG_H_
+#define DD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace dd {
+
+// Small, fast, high-quality PRNG. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Uniform in [0, 2^64).
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). Requires bound > 0. Uses rejection to
+  // avoid modulo bias.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    DD_CHECK_GT(bound, 0u);
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      std::uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) {
+    DD_CHECK_LE(lo, hi);
+    return lo + static_cast<std::int64_t>(NextBounded(
+                    static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli(p).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Approximately standard normal via the sum of 12 uniforms minus 6
+  // (Irwin-Hall); adequate for workload jitter.
+  double NextGaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += NextDouble();
+    return s - 6.0;
+  }
+
+  // Forks an independent stream; distinct `stream` values yield distinct
+  // sequences even under the same parent state.
+  Rng Fork(std::uint64_t stream) {
+    return Rng(NextUint64() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x1234567ULL));
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace dd
+
+#endif  // DD_COMMON_RNG_H_

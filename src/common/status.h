@@ -1,0 +1,102 @@
+// Status: lightweight error propagation without exceptions.
+//
+// Library code on hot paths never throws; fallible operations return a
+// Status (or Result<T>, see result.h). The design follows the familiar
+// RocksDB/Abseil shape: a code plus an optional human-readable message.
+
+#ifndef DD_COMMON_STATUS_H_
+#define DD_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dd {
+
+// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kAlreadyExists,
+  kInternal,
+};
+
+// Returns a stable human-readable name for a StatusCode ("OK",
+// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type carrying success or an error with a message. Cheap to move;
+// the OK state carries no allocation.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  // Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK status to the caller. Usable only in functions
+// returning Status.
+#define DD_RETURN_IF_ERROR(expr)            \
+  do {                                      \
+    ::dd::Status _dd_status = (expr);       \
+    if (!_dd_status.ok()) return _dd_status; \
+  } while (false)
+
+}  // namespace dd
+
+#endif  // DD_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+
+#ifndef DD_COMMON_STOPWATCH_H_
+#define DD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dd {
+
+// Starts running on construction; ElapsedSeconds()/ElapsedMillis() read
+// the current lap, Restart() resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dd
+
+#endif  // DD_COMMON_STOPWATCH_H_

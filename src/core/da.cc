@@ -1,0 +1,135 @@
+#include "core/da.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/candidate_lattice.h"
+
+namespace dd {
+
+namespace {
+
+// Min-heap on utility keeping the l best determined patterns.
+class TopPatterns {
+ public:
+  explicit TopPatterns(std::size_t l) : l_(l) {}
+
+  bool Full() const { return heap_.size() == l_; }
+
+  // The current l-th best (only meaningful when Full()).
+  const DeterminedPattern& Min() const { return heap_.front(); }
+
+  void Offer(DeterminedPattern p) {
+    if (heap_.size() < l_) {
+      heap_.push_back(std::move(p));
+      std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+      return;
+    }
+    if (p.utility <= heap_.front().utility) return;
+    std::pop_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+    heap_.back() = std::move(p);
+    std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp);
+  }
+
+  std::vector<DeterminedPattern> Sorted() && {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const DeterminedPattern& a, const DeterminedPattern& b) {
+                return a.utility > b.utility;
+              });
+    return std::move(heap_);
+  }
+
+ private:
+  static bool MinHeapCmp(const DeterminedPattern& a,
+                         const DeterminedPattern& b) {
+    return a.utility > b.utility;
+  }
+  std::size_t l_;
+  std::vector<DeterminedPattern> heap_;
+};
+
+}  // namespace
+
+std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
+                                                     std::size_t lhs_dims,
+                                                     std::size_t rhs_dims,
+                                                     int dmax,
+                                                     const DaOptions& options,
+                                                     DaStats* stats) {
+  DD_CHECK_GE(options.top_l, 1u);
+  CandidateLattice lhs_lattice(lhs_dims, dmax);
+  std::vector<std::uint32_t> lhs_order = CandidateLattice::MakeOrder(
+      lhs_dims, dmax, ProcessingOrder::kLexicographic);
+
+  std::vector<std::uint64_t> lhs_counts;
+  if (options.advanced_bound) {
+    // Algorithm 4 processes C_X in descending D(ϕ) order so that every
+    // earlier answer has D >= the current candidate's D, the Theorem 3
+    // precondition. The counts from this ordering pass are reused below
+    // (the paper amortizes the ordering; recomputing D per LHS would
+    // double the LHS scans and could make DAP slower than DA on rules
+    // with a large C_X).
+    lhs_counts.resize(lhs_lattice.size());
+    for (std::uint32_t idx : lhs_order) {
+      provider->SetLhs(lhs_lattice.LevelsOf(idx));
+      lhs_counts[idx] = provider->lhs_count();
+    }
+    std::stable_sort(lhs_order.begin(), lhs_order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return lhs_counts[a] > lhs_counts[b];
+                     });
+  }
+
+  const std::uint64_t total = provider->total();
+  TopPatterns top(options.top_l);
+  PaOptions pa_options = options.pa;
+  pa_options.top_l = options.top_l;
+
+  std::size_t lhs_evaluated = 0;
+  PaStats pa_stats;
+  for (std::uint32_t idx : lhs_order) {
+    const Levels lhs = lhs_lattice.LevelsOf(idx);
+    if (options.advanced_bound) {
+      provider->SetLhsWithKnownCount(lhs, lhs_counts[idx]);
+    } else {
+      provider->SetLhs(lhs);
+    }
+    const std::uint64_t n = provider->lhs_count();
+    ++lhs_evaluated;
+
+    double bound = 0.0;
+    if (options.advanced_bound && top.Full() && n > 0) {
+      const DeterminedPattern& ref = top.Min();
+      // Descending-D processing guarantees ref.lhs_count >= n.
+      const double ratio = static_cast<double>(ref.measures.lhs_count) /
+                           static_cast<double>(n);
+      const double ref_cq = ref.measures.confidence * ref.measures.quality;
+      bound = 1.0 - ratio * (1.0 - ref_cq);
+      if (bound < 0.0) bound = 0.0;  // Paper: negative bounds become 0.
+    }
+
+    std::vector<RhsCandidate> best =
+        FindBestRhs(provider, rhs_dims, dmax, bound, pa_options, &pa_stats);
+    for (RhsCandidate& c : best) {
+      DeterminedPattern p;
+      p.pattern.lhs = lhs;
+      p.pattern.rhs = std::move(c.rhs);
+      p.measures = MeasuresFromCounts(total, n, c.xy_count, p.pattern.rhs,
+                                      dmax);
+      p.utility = ExpectedUtility(total, n, p.measures.confidence,
+                                  p.measures.quality, options.utility);
+      top.Offer(std::move(p));
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->lhs_total += lhs_lattice.size();
+    stats->lhs_evaluated += lhs_evaluated;
+    stats->rhs.lattice_size += pa_stats.lattice_size;
+    stats->rhs.evaluated += pa_stats.evaluated;
+    stats->rhs.pruned += pa_stats.pruned;
+  }
+  return std::move(top).Sorted();
+}
+
+}  // namespace dd

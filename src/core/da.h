@@ -1,0 +1,70 @@
+// Determination for the determinant attributes X (paper §V-B): evaluate
+// every ϕ[X] ∈ C_X, find its best ϕ[Y] via PA/PAP, and keep the pattern
+// with the maximum expected utility Ū(ϕ).
+//
+// DetermineBestPatterns implements both Algorithm 3 (DA — every LHS is
+// explored with an initial bound of 0) and Algorithm 4 (DAP — C_X is
+// processed in descending D(ϕ) order and each PAP call is seeded with
+// the advanced bound of Theorem 3 / formula 6:
+//   Vmax = 1 - (D(ϕmax)/D(ϕi)) · (1 - C(ϕmax)Q(ϕmax))
+// computed from the current l-th best answer ϕmax).
+
+#ifndef DD_CORE_DA_H_
+#define DD_CORE_DA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/expected_utility.h"
+#include "core/measures.h"
+#include "core/pa.h"
+#include "core/pattern.h"
+
+namespace dd {
+
+// A fully determined pattern with all statistics and its utility.
+struct DeterminedPattern {
+  Pattern pattern;
+  Measures measures;
+  double utility = 0.0;
+};
+
+struct DaOptions {
+  // false: Algorithm 3 (DA). true: Algorithm 4 (DAP).
+  bool advanced_bound = false;
+  // Configuration of the per-LHS search (PA vs PAP and the C_Y order).
+  PaOptions pa;
+  // Return the l patterns with the largest expected utilities.
+  std::size_t top_l = 1;
+  UtilityOptions utility;
+};
+
+struct DaStats {
+  std::size_t lhs_total = 0;      // |C_X|
+  std::size_t lhs_evaluated = 0;  // LHS candidates processed
+  PaStats rhs;                    // aggregated over all PA/PAP calls
+
+  // Fraction of C_X × C_Y candidates that avoided confidence
+  // computation (the paper's Figure 4 pruning rate).
+  double PruningRate() const {
+    if (rhs.lattice_size == 0) return 0.0;
+    return static_cast<double>(rhs.pruned) /
+           static_cast<double>(rhs.lattice_size);
+  }
+};
+
+// Runs the full determination over C_X × C_Y. `top_l` must match
+// options.pa.top_l for consistent bounds (the facade enforces this).
+// Results are sorted by descending utility; fewer than top_l entries are
+// returned when the remaining candidates cannot strictly improve on the
+// bound (e.g. all-zero confidence rules).
+std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
+                                                     std::size_t lhs_dims,
+                                                     std::size_t rhs_dims,
+                                                     int dmax,
+                                                     const DaOptions& options,
+                                                     DaStats* stats);
+
+}  // namespace dd
+
+#endif  // DD_CORE_DA_H_

@@ -1,0 +1,57 @@
+#include "core/determiner.h"
+
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "core/expected_utility.h"
+#include "core/measure_provider.h"
+
+namespace dd {
+
+const char* LhsAlgorithmName(LhsAlgorithm algorithm) {
+  return algorithm == LhsAlgorithm::kDa ? "DA" : "DAP";
+}
+
+const char* RhsAlgorithmName(RhsAlgorithm algorithm) {
+  return algorithm == RhsAlgorithm::kPa ? "PA" : "PAP";
+}
+
+Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
+                                            const RuleSpec& rule,
+                                            const DetermineOptions& options) {
+  if (options.top_l == 0) {
+    return Status::InvalidArgument("top_l must be >= 1");
+  }
+  DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
+  DD_ASSIGN_OR_RETURN(std::unique_ptr<MeasureProvider> provider,
+                      MakeMeasureProvider(matching, resolved, options.provider,
+                                          options.provider_threads));
+
+  DetermineResult result;
+  UtilityOptions utility = options.utility;
+  if (options.prior_sample_size > 0) {
+    utility.prior_mean_cq = EstimatePriorMeanCq(
+        provider.get(), resolved.lhs.size(), resolved.rhs.size(),
+        matching.dmax(), options.prior_sample_size, options.prior_seed);
+  }
+  result.prior_mean_cq = utility.prior_mean_cq;
+  provider->ResetStats();  // Prior estimation does not count as search work.
+
+  DaOptions da;
+  da.advanced_bound = options.lhs_algorithm == LhsAlgorithm::kDap;
+  da.pa.prune = options.rhs_algorithm == RhsAlgorithm::kPap;
+  da.pa.order = options.order;
+  da.pa.top_l = options.top_l;
+  da.top_l = options.top_l;
+  da.utility = utility;
+
+  Stopwatch timer;
+  result.patterns = DetermineBestPatterns(
+      provider.get(), resolved.lhs.size(), resolved.rhs.size(),
+      matching.dmax(), da, &result.stats);
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  result.provider_stats = provider->stats();
+  return result;
+}
+
+}  // namespace dd

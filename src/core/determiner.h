@@ -1,0 +1,61 @@
+// Facade tying the whole determination pipeline together: resolve a
+// rule against a matching relation, pick a measure provider, estimate
+// the utility prior from the data, and run the configured combination of
+// {DA, DAP} × {PA, PAP} with a processing order and answer size l —
+// i.e. the full parameter-free threshold determination of the paper.
+
+#ifndef DD_CORE_DETERMINER_H_
+#define DD_CORE_DETERMINER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/da.h"
+#include "core/rule.h"
+#include "matching/matching_relation.h"
+
+namespace dd {
+
+enum class LhsAlgorithm { kDa, kDap };
+enum class RhsAlgorithm { kPa, kPap };
+
+const char* LhsAlgorithmName(LhsAlgorithm algorithm);
+const char* RhsAlgorithmName(RhsAlgorithm algorithm);
+
+struct DetermineOptions {
+  LhsAlgorithm lhs_algorithm = LhsAlgorithm::kDap;
+  RhsAlgorithm rhs_algorithm = RhsAlgorithm::kPap;
+  // C_Y processing order. The paper's default recommendation: top-first
+  // (best with DAP; DA+PAP slightly prefers mid-first, see Table V).
+  ProcessingOrder order = ProcessingOrder::kTopFirst;
+  // Number of answers (l-th largest expected utility extension).
+  std::size_t top_l = 1;
+  // Measure provider: "scan" (paper-faithful), "scan_subset", "grid".
+  std::string provider = "scan";
+  // Worker threads for the scan-based providers (1 = serial).
+  std::size_t provider_threads = 1;
+  // Prior CQ̄ estimation sample; 0 keeps utility.prior_mean_cq as given.
+  std::size_t prior_sample_size = 200;
+  std::uint64_t prior_seed = 99;
+  UtilityOptions utility;
+};
+
+struct DetermineResult {
+  // Up to top_l patterns, descending expected utility.
+  std::vector<DeterminedPattern> patterns;
+  DaStats stats;
+  ProviderStats provider_stats;
+  double prior_mean_cq = 0.0;
+  double elapsed_seconds = 0.0;
+};
+
+// Runs the determination. Fails on unresolvable rules or providers.
+Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
+                                            const RuleSpec& rule,
+                                            const DetermineOptions& options);
+
+}  // namespace dd
+
+#endif  // DD_CORE_DETERMINER_H_

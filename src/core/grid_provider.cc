@@ -1,0 +1,133 @@
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/measure_provider.h"
+
+namespace dd {
+
+namespace {
+
+// In-place inclusive prefix sums along every dimension of a dense
+// mixed-radix grid with `dims` dimensions of extent `base` each.
+void PrefixSumAllDims(std::vector<std::uint64_t>* grid, std::size_t dims,
+                      std::size_t base) {
+  const std::size_t size = grid->size();
+  std::size_t stride = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::size_t block = stride * base;
+    for (std::size_t start = 0; start < size; start += block) {
+      for (std::size_t offset = 0; offset < stride; ++offset) {
+        std::uint64_t running = 0;
+        for (std::size_t lvl = 0; lvl < base; ++lvl) {
+          const std::size_t cell = start + offset + lvl * stride;
+          running += (*grid)[cell];
+          (*grid)[cell] = running;
+        }
+      }
+    }
+    stride = block;
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
+    const MatchingRelation& matching, ResolvedRule rule,
+    std::size_t max_cells) {
+  const std::size_t base = static_cast<std::size_t>(matching.dmax()) + 1;
+  const std::size_t dims = rule.lhs.size() + rule.rhs.size();
+  std::size_t cells = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (cells > max_cells / base) {
+      return Status::InvalidArgument(StrFormat(
+          "grid of %zu^%zu cells exceeds the limit of %zu", base, dims,
+          max_cells));
+    }
+    cells *= base;
+  }
+
+  auto provider = std::unique_ptr<GridMeasureProvider>(new GridMeasureProvider());
+  provider->total_ = matching.num_tuples();
+  provider->dmax_ = matching.dmax();
+  provider->lhs_dims_ = rule.lhs.size();
+  provider->rhs_dims_ = rule.rhs.size();
+  provider->joint_.assign(cells, 0);
+
+  std::size_t lhs_cells = 1;
+  for (std::size_t d = 0; d < rule.lhs.size(); ++d) lhs_cells *= base;
+  provider->lhs_grid_.assign(lhs_cells, 0);
+
+  // Histogram pass: one increment per matching tuple in each grid.
+  const std::size_t m = matching.num_tuples();
+  for (std::size_t row = 0; row < m; ++row) {
+    std::size_t joint_idx = 0;
+    std::size_t lhs_idx = 0;
+    // rhs dims are high-order; fill from the back.
+    for (std::size_t a = rule.rhs.size(); a-- > 0;) {
+      joint_idx = joint_idx * base + matching.level(row, rule.rhs[a]);
+    }
+    for (std::size_t a = rule.lhs.size(); a-- > 0;) {
+      joint_idx = joint_idx * base + matching.level(row, rule.lhs[a]);
+      lhs_idx = lhs_idx * base + matching.level(row, rule.lhs[a]);
+    }
+    ++provider->joint_[joint_idx];
+    ++provider->lhs_grid_[lhs_idx];
+  }
+
+  PrefixSumAllDims(&provider->joint_, dims, base);
+  PrefixSumAllDims(&provider->lhs_grid_, rule.lhs.size(), base);
+  return provider;
+}
+
+void GridMeasureProvider::SetLhs(const Levels& lhs) {
+  DD_CHECK_EQ(lhs.size(), lhs_dims_);
+  ++stats_.lhs_evaluations;
+  current_lhs_ = lhs;
+  const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
+  std::size_t idx = 0;
+  for (std::size_t a = lhs_dims_; a-- > 0;) {
+    DD_CHECK_GE(lhs[a], 0);
+    DD_CHECK_LE(lhs[a], dmax_);
+    idx = idx * base + static_cast<std::size_t>(lhs[a]);
+  }
+  lhs_count_ = lhs_grid_[idx];
+}
+
+std::uint64_t GridMeasureProvider::CountXY(const Levels& rhs) {
+  DD_CHECK_EQ(rhs.size(), rhs_dims_);
+  DD_CHECK_EQ(current_lhs_.size(), lhs_dims_);
+  ++stats_.xy_evaluations;
+  const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
+  std::size_t idx = 0;
+  for (std::size_t a = rhs_dims_; a-- > 0;) {
+    DD_CHECK_GE(rhs[a], 0);
+    DD_CHECK_LE(rhs[a], dmax_);
+    idx = idx * base + static_cast<std::size_t>(rhs[a]);
+  }
+  for (std::size_t a = lhs_dims_; a-- > 0;) {
+    idx = idx * base + static_cast<std::size_t>(current_lhs_[a]);
+  }
+  return joint_[idx];
+}
+
+Result<std::unique_ptr<MeasureProvider>> MakeMeasureProvider(
+    const MatchingRelation& matching, const ResolvedRule& rule,
+    std::string_view kind, std::size_t scan_threads) {
+  if (kind == "scan") {
+    return std::unique_ptr<MeasureProvider>(new ScanMeasureProvider(
+        matching, rule, /*full_scan=*/true, scan_threads));
+  }
+  if (kind == "scan_subset") {
+    return std::unique_ptr<MeasureProvider>(new ScanMeasureProvider(
+        matching, rule, /*full_scan=*/false, scan_threads));
+  }
+  if (kind == "grid") {
+    DD_ASSIGN_OR_RETURN(auto grid, GridMeasureProvider::Create(matching, rule));
+    return std::unique_ptr<MeasureProvider>(std::move(grid));
+  }
+  return Status::InvalidArgument("unknown provider kind: " + std::string(kind));
+}
+
+}  // namespace dd

@@ -1,0 +1,33 @@
+#include "core/measures.h"
+
+namespace dd {
+
+Measures MeasuresFromCounts(std::uint64_t total, std::uint64_t lhs_count,
+                            std::uint64_t xy_count, const Levels& rhs,
+                            int dmax) {
+  Measures m;
+  m.total = total;
+  m.lhs_count = lhs_count;
+  m.xy_count = xy_count;
+  m.d = total > 0 ? static_cast<double>(lhs_count) / static_cast<double>(total)
+                  : 0.0;
+  m.confidence = lhs_count > 0 ? static_cast<double>(xy_count) /
+                                     static_cast<double>(lhs_count)
+                               : 0.0;
+  m.support = total > 0
+                  ? static_cast<double>(xy_count) / static_cast<double>(total)
+                  : 0.0;
+  m.quality = DependentQuality(rhs, dmax);
+  return m;
+}
+
+Measures ComputeMeasures(MeasureProvider* provider, const Pattern& pattern,
+                         int dmax) {
+  provider->SetLhs(pattern.lhs);
+  const std::uint64_t lhs_count = provider->lhs_count();
+  const std::uint64_t xy_count = provider->CountXY(pattern.rhs);
+  return MeasuresFromCounts(provider->total(), lhs_count, xy_count,
+                            pattern.rhs, dmax);
+}
+
+}  // namespace dd

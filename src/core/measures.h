@@ -1,0 +1,37 @@
+// The paper's statistical measures for a concrete pattern ϕ (§III-B):
+// LHS support D(ϕ), confidence C(ϕ), support S(ϕ) = C·D, and dependent
+// quality Q(ϕ), computed from the counting queries of a MeasureProvider.
+
+#ifndef DD_CORE_MEASURES_H_
+#define DD_CORE_MEASURES_H_
+
+#include <cstdint>
+
+#include "core/measure_provider.h"
+#include "core/pattern.h"
+
+namespace dd {
+
+struct Measures {
+  std::uint64_t total = 0;       // M
+  std::uint64_t lhs_count = 0;   // count(b ⊨ ϕ[X])
+  std::uint64_t xy_count = 0;    // count(b ⊨ ϕ[XY])
+  double d = 0.0;                // D(ϕ) = lhs_count / M
+  double confidence = 0.0;       // C(ϕ) = xy_count / lhs_count (0 if empty)
+  double support = 0.0;          // S(ϕ) = C(ϕ) · D(ϕ) = xy_count / M
+  double quality = 0.0;          // Q(ϕ), formula 3
+};
+
+// Evaluates all measures of `pattern`. The provider's current LHS is
+// updated (SetLhs + one CountXY).
+Measures ComputeMeasures(MeasureProvider* provider, const Pattern& pattern,
+                         int dmax);
+
+// Assembles measures from pre-obtained counts (no provider calls).
+Measures MeasuresFromCounts(std::uint64_t total, std::uint64_t lhs_count,
+                            std::uint64_t xy_count, const Levels& rhs,
+                            int dmax);
+
+}  // namespace dd
+
+#endif  // DD_CORE_MEASURES_H_

@@ -1,0 +1,120 @@
+#include "core/pa.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dd {
+
+namespace {
+
+// Min-heap on cq keeping the l best candidates seen so far.
+struct TopL {
+  explicit TopL(std::size_t l) : l_(l) {}
+
+  // The current pruning bound: the l-th largest C·Q once l candidates
+  // are held, otherwise the caller's initial bound.
+  double Bound(double initial_bound) const {
+    return heap_.size() == l_ ? heap_.front().cq : initial_bound;
+  }
+
+  void Offer(RhsCandidate candidate) {
+    if (heap_.size() < l_) {
+      heap_.push_back(std::move(candidate));
+      std::push_heap(heap_.begin(), heap_.end(), cmp_);
+      return;
+    }
+    std::pop_heap(heap_.begin(), heap_.end(), cmp_);
+    heap_.back() = std::move(candidate);
+    std::push_heap(heap_.begin(), heap_.end(), cmp_);
+  }
+
+  std::vector<RhsCandidate> Sorted() && {
+    std::sort(heap_.begin(), heap_.end(),
+              [](const RhsCandidate& a, const RhsCandidate& b) {
+                return a.cq > b.cq;
+              });
+    return std::move(heap_);
+  }
+
+ private:
+  // std::push_heap with this comparator builds a min-heap on cq.
+  static bool MinHeapCmp(const RhsCandidate& a, const RhsCandidate& b) {
+    return a.cq > b.cq;
+  }
+  bool (*cmp_)(const RhsCandidate&, const RhsCandidate&) = MinHeapCmp;
+  std::size_t l_;
+  std::vector<RhsCandidate> heap_;
+};
+
+RhsCandidate Evaluate(MeasureProvider* provider, Levels rhs, int dmax) {
+  RhsCandidate c;
+  c.xy_count = provider->CountXY(rhs);
+  const std::uint64_t n = provider->lhs_count();
+  c.confidence =
+      n > 0 ? static_cast<double>(c.xy_count) / static_cast<double>(n) : 0.0;
+  c.quality = DependentQuality(rhs, dmax);
+  c.cq = c.confidence * c.quality;
+  c.rhs = std::move(rhs);
+  return c;
+}
+
+}  // namespace
+
+std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
+                                      std::size_t rhs_dims, int dmax,
+                                      double initial_bound,
+                                      const PaOptions& options,
+                                      PaStats* stats) {
+  DD_CHECK_GE(options.top_l, 1u);
+  CandidateLattice lattice(rhs_dims, dmax);
+  const std::vector<std::uint32_t> order =
+      CandidateLattice::MakeOrder(rhs_dims, dmax, options.order);
+  TopL top(options.top_l);
+  const Levels all_dmax(rhs_dims, dmax);
+  std::size_t evaluated = 0;
+
+  if (!options.prune) {
+    // Algorithm 1 (PA): one pass over the entire C_Y.
+    for (std::uint32_t idx : order) {
+      RhsCandidate c = Evaluate(provider, lattice.LevelsOf(idx), dmax);
+      ++evaluated;
+      if (c.cq > top.Bound(initial_bound)) top.Offer(std::move(c));
+    }
+  } else {
+    // Algorithm 2 (PAP).
+    for (std::uint32_t idx : order) {
+      if (!lattice.IsAlive(idx)) continue;  // Pruned by S0/S1 earlier.
+      RhsCandidate c = Evaluate(provider, lattice.LevelsOf(idx), dmax);
+      ++evaluated;
+      lattice.Kill(idx);  // Processed; Prune below must not double-count.
+      const double vmax_before = top.Bound(initial_bound);
+      if (c.cq > vmax_before) top.Offer(c);
+      const double vmax = top.Bound(initial_bound);
+      if (vmax > 0.0) {
+        // S0 (Proposition 1): every candidate is dominated by the
+        // all-dmax pattern, so prune(ϕ0, Vmax) kills all with Q <= Vmax.
+        lattice.Prune(all_dmax, vmax);
+        // S1 (Proposition 2): candidates dominated by the current ϕi
+        // with Q <= Vmax / C(ϕi) cannot beat Vmax. C(ϕi) == 0 prunes the
+        // whole dominated sub-box (their confidence is 0 too).
+        const double s1_quality =
+            c.confidence > 0.0 ? vmax / c.confidence : 1.0;
+        lattice.Prune(c.rhs, s1_quality);
+      } else if (c.confidence == 0.0) {
+        // Everything dominated by a zero-confidence candidate has C = 0,
+        // hence C·Q = 0, and can never strictly exceed a bound >= 0.
+        lattice.Prune(c.rhs, 1.0);
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->lattice_size += lattice.size();
+    stats->evaluated += evaluated;
+    stats->pruned += lattice.size() - evaluated;
+  }
+  return std::move(top).Sorted();
+}
+
+}  // namespace dd

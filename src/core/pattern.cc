@@ -1,0 +1,44 @@
+#include "core/pattern.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace dd {
+
+bool Dominates(const Levels& a, const Levels& b) {
+  DD_CHECK_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+  }
+  return true;
+}
+
+long LevelSum(const Levels& levels) {
+  long sum = 0;
+  for (int v : levels) sum += v;
+  return sum;
+}
+
+double DependentQuality(const Levels& rhs, int dmax) {
+  DD_CHECK_GT(dmax, 0);
+  if (rhs.empty()) return 1.0;
+  const double denom = static_cast<double>(rhs.size()) * dmax;
+  return 1.0 - static_cast<double>(LevelSum(rhs)) / denom;
+}
+
+std::string LevelsToString(const Levels& levels) {
+  std::string out = "<";
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%d", levels[i]);
+  }
+  out += ">";
+  return out;
+}
+
+std::string PatternToString(const Pattern& pattern) {
+  return "(" + LevelsToString(pattern.lhs) + " -> " +
+         LevelsToString(pattern.rhs) + ")";
+}
+
+}  // namespace dd

@@ -1,0 +1,58 @@
+// Distance threshold patterns ϕ and the dominance relation (paper
+// Definition 2). A pattern assigns one integer threshold level in
+// [0, dmax] to each attribute of the rule's determinant side X and
+// dependent side Y.
+
+#ifndef DD_CORE_PATTERN_H_
+#define DD_CORE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+namespace dd {
+
+// Threshold levels for an ordered attribute list (either ϕ[X] or ϕ[Y]).
+using Levels = std::vector<int>;
+
+// True when a[i] >= b[i] for every i (a "dominates" b, written a ⪰ b in
+// the paper). Requires equal sizes. Reflexive and transitive.
+bool Dominates(const Levels& a, const Levels& b);
+
+// Dependent quality Q(ϕ) = Σ_A (dmax - ϕ[A]) / (|Y| * dmax), paper
+// formula 3: 1.0 at the all-zero (equality / FD) pattern, 0.0 at the
+// all-dmax pattern.
+double DependentQuality(const Levels& rhs, int dmax);
+
+// Sum of levels; Q(ϕ) = 1 - LevelSum/(dims*dmax).
+long LevelSum(const Levels& levels);
+
+// A full pattern: thresholds on X and on Y.
+struct Pattern {
+  Levels lhs;
+  Levels rhs;
+
+  // All-zero thresholds on both sides: the classical FD special case.
+  static Pattern Fd(std::size_t lhs_dims, std::size_t rhs_dims) {
+    return Pattern{Levels(lhs_dims, 0), Levels(rhs_dims, 0)};
+  }
+
+  // Equality on X, free thresholds on Y: the MFD special case
+  // (Koudas et al. 2009).
+  static Pattern ExactLhs(std::size_t lhs_dims, Levels rhs) {
+    return Pattern{Levels(lhs_dims, 0), std::move(rhs)};
+  }
+
+  friend bool operator==(const Pattern& a, const Pattern& b) {
+    return a.lhs == b.lhs && a.rhs == b.rhs;
+  }
+};
+
+// "<8, 3>" formatting as used throughout the paper.
+std::string LevelsToString(const Levels& levels);
+
+// "(<8> -> <3>)" formatting of a full pattern.
+std::string PatternToString(const Pattern& pattern);
+
+}  // namespace dd
+
+#endif  // DD_CORE_PATTERN_H_

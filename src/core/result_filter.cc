@@ -1,0 +1,37 @@
+#include "core/result_filter.h"
+
+namespace dd {
+
+bool SubsumesEquivalent(const DeterminedPattern& a,
+                        const DeterminedPattern& b) {
+  if (a.pattern.lhs.size() != b.pattern.lhs.size() ||
+      a.pattern.rhs.size() != b.pattern.rhs.size()) {
+    return false;
+  }
+  if (a.measures.lhs_count != b.measures.lhs_count ||
+      a.measures.xy_count != b.measures.xy_count) {
+    return false;
+  }
+  return Dominates(a.pattern.lhs, b.pattern.lhs) &&
+         Dominates(b.pattern.rhs, a.pattern.rhs);
+}
+
+std::vector<DeterminedPattern> CollapseEquivalent(
+    std::vector<DeterminedPattern> patterns) {
+  std::vector<DeterminedPattern> kept;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    bool subsumed = false;
+    for (std::size_t j = 0; j < patterns.size() && !subsumed; ++j) {
+      if (i == j) continue;
+      if (!SubsumesEquivalent(patterns[j], patterns[i])) continue;
+      // Mutually subsuming patterns are identical in every compared
+      // respect; keep the earliest.
+      if (SubsumesEquivalent(patterns[i], patterns[j]) && i < j) continue;
+      subsumed = true;
+    }
+    if (!subsumed) kept.push_back(patterns[i]);
+  }
+  return kept;
+}
+
+}  // namespace dd

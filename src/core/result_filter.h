@@ -1,0 +1,35 @@
+// Post-processing of determined pattern lists. Threshold domains are
+// discrete, so several neighbouring patterns often have *identical*
+// statistics on the data (e.g. <7>, <8>, <9> on X when no pair has a
+// distance in (6, 9]); a top-l answer list then wastes slots on
+// statistically equivalent patterns. CollapseEquivalent keeps one
+// canonical representative per equivalence class — the most usable one
+// for violation detection: the largest ϕ[X] (tolerates the most format
+// variation in the dirty data) and the smallest ϕ[Y] (tightest
+// conclusion) among patterns with identical counts.
+
+#ifndef DD_CORE_RESULT_FILTER_H_
+#define DD_CORE_RESULT_FILTER_H_
+
+#include <vector>
+
+#include "core/da.h"
+
+namespace dd {
+
+// True when a and b have identical (lhs_count, xy_count) and a's
+// pattern dominates b's in the canonical-preference order:
+// a.lhs >= b.lhs component-wise and a.rhs <= b.rhs component-wise.
+// Requires equal arities.
+bool SubsumesEquivalent(const DeterminedPattern& a,
+                        const DeterminedPattern& b);
+
+// Removes every pattern subsumed by an equivalent one; preserves the
+// input's relative order of survivors. Patterns of different arity are
+// never compared.
+std::vector<DeterminedPattern> CollapseEquivalent(
+    std::vector<DeterminedPattern> patterns);
+
+}  // namespace dd
+
+#endif  // DD_CORE_RESULT_FILTER_H_

@@ -1,0 +1,30 @@
+#include "core/rule.h"
+
+#include <algorithm>
+
+namespace dd {
+
+Result<ResolvedRule> ResolveRule(const MatchingRelation& matching,
+                                 const RuleSpec& spec) {
+  if (spec.lhs.empty() || spec.rhs.empty()) {
+    return Status::InvalidArgument("rule must have non-empty X and Y");
+  }
+  for (const auto& name : spec.lhs) {
+    if (std::find(spec.rhs.begin(), spec.rhs.end(), name) != spec.rhs.end()) {
+      return Status::InvalidArgument("attribute on both sides of rule: " +
+                                     name);
+    }
+  }
+  ResolvedRule rule;
+  for (const auto& name : spec.lhs) {
+    DD_ASSIGN_OR_RETURN(std::size_t idx, matching.IndexOf(name));
+    rule.lhs.push_back(idx);
+  }
+  for (const auto& name : spec.rhs) {
+    DD_ASSIGN_OR_RETURN(std::size_t idx, matching.IndexOf(name));
+    rule.rhs.push_back(idx);
+  }
+  return rule;
+}
+
+}  // namespace dd

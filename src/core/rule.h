@@ -1,0 +1,39 @@
+// A rule X -> Y over matching-relation attributes, by name (RuleSpec)
+// and resolved to column indices (ResolvedRule).
+
+#ifndef DD_CORE_RULE_H_
+#define DD_CORE_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "matching/matching_relation.h"
+
+namespace dd {
+
+struct RuleSpec {
+  std::vector<std::string> lhs;  // determinant attributes X
+  std::vector<std::string> rhs;  // dependent attributes Y
+
+  // Union X ∪ Y in declaration order, for matching-relation builds.
+  std::vector<std::string> AllAttributes() const {
+    std::vector<std::string> all = lhs;
+    all.insert(all.end(), rhs.begin(), rhs.end());
+    return all;
+  }
+};
+
+struct ResolvedRule {
+  std::vector<std::size_t> lhs;  // column indices in the matching relation
+  std::vector<std::size_t> rhs;
+};
+
+// Resolves attribute names against the matching relation; fails on
+// unknown names, empty sides, or attributes listed on both sides.
+Result<ResolvedRule> ResolveRule(const MatchingRelation& matching,
+                                 const RuleSpec& spec);
+
+}  // namespace dd
+
+#endif  // DD_CORE_RULE_H_

@@ -1,0 +1,127 @@
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/measure_provider.h"
+
+namespace dd {
+
+namespace {
+
+// Shared row predicate: does matching tuple `row` satisfy `levels` on
+// the columns of `attrs`?
+inline bool Satisfies(const MatchingRelation& matching,
+                      const std::vector<std::size_t>& attrs,
+                      const Levels& levels, std::size_t row) {
+  for (std::size_t a = 0; a < attrs.size(); ++a) {
+    if (static_cast<int>(matching.level(row, attrs[a])) > levels[a]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ScanMeasureProvider::ScanMeasureProvider(const MatchingRelation& matching,
+                                         ResolvedRule rule, bool full_scan,
+                                         std::size_t threads)
+    : matching_(matching),
+      rule_(std::move(rule)),
+      full_scan_(full_scan),
+      threads_(threads == 0 ? 1 : threads) {}
+
+std::uint64_t ScanMeasureProvider::total() const {
+  return matching_.num_tuples();
+}
+
+void ScanMeasureProvider::SetLhs(const Levels& lhs) {
+  DD_CHECK_EQ(lhs.size(), rule_.lhs.size());
+  current_lhs_ = lhs;
+  lhs_count_ = 0;
+  lhs_rows_.clear();
+  const std::size_t m = matching_.num_tuples();
+  ++stats_.lhs_evaluations;
+  stats_.rows_scanned += m;
+
+  const std::size_t chunks = EffectiveChunks(m, threads_);
+  std::vector<std::uint64_t> counts(chunks, 0);
+  std::vector<std::vector<std::uint32_t>> rows(full_scan_ ? 0 : chunks);
+  ParallelFor(m, threads_, [&](std::size_t chunk, std::size_t begin,
+                               std::size_t end) {
+    std::uint64_t count = 0;
+    for (std::size_t row = begin; row < end; ++row) {
+      if (Satisfies(matching_, rule_.lhs, lhs, row)) {
+        ++count;
+        if (!full_scan_) {
+          rows[chunk].push_back(static_cast<std::uint32_t>(row));
+        }
+      }
+    }
+    counts[chunk] = count;
+  });
+  for (std::uint64_t c : counts) lhs_count_ += c;
+  if (!full_scan_) {
+    // Chunks cover [0, m) in order, so concatenation keeps rows sorted.
+    for (auto& chunk_rows : rows) {
+      lhs_rows_.insert(lhs_rows_.end(), chunk_rows.begin(), chunk_rows.end());
+    }
+  }
+}
+
+void ScanMeasureProvider::SetLhsWithKnownCount(const Levels& lhs,
+                                               std::uint64_t known_count) {
+  if (!full_scan_) {
+    SetLhs(lhs);  // The satisfying-row list must be rebuilt anyway.
+    return;
+  }
+  DD_CHECK_EQ(lhs.size(), rule_.lhs.size());
+  current_lhs_ = lhs;
+  lhs_count_ = known_count;
+  lhs_rows_.clear();
+}
+
+std::uint64_t ScanMeasureProvider::CountXY(const Levels& rhs) {
+  DD_CHECK_EQ(rhs.size(), rule_.rhs.size());
+  DD_CHECK_EQ(current_lhs_.size(), rule_.lhs.size());
+  ++stats_.xy_evaluations;
+
+  if (full_scan_) {
+    const std::size_t m = matching_.num_tuples();
+    stats_.rows_scanned += m;
+    const std::size_t chunks = EffectiveChunks(m, threads_);
+    std::vector<std::uint64_t> counts(chunks, 0);
+    ParallelFor(m, threads_, [&](std::size_t chunk, std::size_t begin,
+                                 std::size_t end) {
+      std::uint64_t count = 0;
+      for (std::size_t row = begin; row < end; ++row) {
+        if (Satisfies(matching_, rule_.lhs, current_lhs_, row) &&
+            Satisfies(matching_, rule_.rhs, rhs, row)) {
+          ++count;
+        }
+      }
+      counts[chunk] = count;
+    });
+    std::uint64_t total_count = 0;
+    for (std::uint64_t c : counts) total_count += c;
+    return total_count;
+  }
+
+  stats_.rows_scanned += lhs_rows_.size();
+  const std::size_t n = lhs_rows_.size();
+  const std::size_t chunks = EffectiveChunks(n, threads_);
+  std::vector<std::uint64_t> counts(chunks, 0);
+  ParallelFor(n, threads_, [&](std::size_t chunk, std::size_t begin,
+                               std::size_t end) {
+    std::uint64_t count = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (Satisfies(matching_, rule_.rhs, rhs, lhs_rows_[i])) ++count;
+    }
+    counts[chunk] = count;
+  });
+  std::uint64_t total_count = 0;
+  for (std::uint64_t c : counts) total_count += c;
+  return total_count;
+}
+
+}  // namespace dd

@@ -1,0 +1,38 @@
+#include "core/skyline.h"
+
+namespace dd {
+
+bool ParetoDominates(const Measures& a, const Measures& b) {
+  if (a.support < b.support || a.confidence < b.confidence ||
+      a.quality < b.quality) {
+    return false;
+  }
+  return a.support > b.support || a.confidence > b.confidence ||
+         a.quality > b.quality;
+}
+
+std::vector<DeterminedPattern> ParetoFront(
+    const std::vector<DeterminedPattern>& patterns) {
+  std::vector<DeterminedPattern> front;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < patterns.size() && !dominated; ++j) {
+      if (i != j && ParetoDominates(patterns[j].measures,
+                                    patterns[i].measures)) {
+        dominated = true;
+      }
+    }
+    if (!dominated) front.push_back(patterns[i]);
+  }
+  return front;
+}
+
+bool IsParetoOptimalAmong(const DeterminedPattern& pattern,
+                          const std::vector<DeterminedPattern>& candidates) {
+  for (const auto& candidate : candidates) {
+    if (ParetoDominates(candidate.measures, pattern.measures)) return false;
+  }
+  return true;
+}
+
+}  // namespace dd

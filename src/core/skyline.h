@@ -1,0 +1,36 @@
+// Pareto-front utilities over (support, confidence, dependent quality).
+// The paper's introduction characterizes the returned "best" patterns
+// as Pareto-optimal: "not existing any other settings ... having higher
+// support, confidence, and dependent quality than the returned results
+// at the same time" — a consequence of Theorem 1, since any pattern
+// Pareto-dominated on all three measures has a no-larger expected
+// utility. These helpers make that guarantee checkable and let callers
+// extract the full skyline of a candidate set.
+
+#ifndef DD_CORE_SKYLINE_H_
+#define DD_CORE_SKYLINE_H_
+
+#include <vector>
+
+#include "core/da.h"
+
+namespace dd {
+
+// True when `a` is at least as good as `b` on support, confidence, and
+// dependent quality, and strictly better on at least one.
+bool ParetoDominates(const Measures& a, const Measures& b);
+
+// The non-dominated subset of `patterns` under ParetoDominates,
+// preserving input order. Duplicate measure triples all survive (none
+// strictly dominates the other).
+std::vector<DeterminedPattern> ParetoFront(
+    const std::vector<DeterminedPattern>& patterns);
+
+// True when no element of `candidates` Pareto-dominates `pattern` —
+// the paper's optimality characterization of a determination result.
+bool IsParetoOptimalAmong(const DeterminedPattern& pattern,
+                          const std::vector<DeterminedPattern>& candidates);
+
+}  // namespace dd
+
+#endif  // DD_CORE_SKYLINE_H_

@@ -1,0 +1,126 @@
+#include "data/generators.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dd {
+
+namespace {
+
+struct InstitutionInfo {
+  const char* affiliation;
+  const char* address;
+};
+
+constexpr InstitutionInfo kInstitutions[] = {
+    {"Department of Computer Science, Stanford University",
+     "353 Jane Stanford Way, Stanford, CA"},
+    {"School of Computer Science, Carnegie Mellon University",
+     "5000 Forbes Avenue, Pittsburgh, PA"},
+    {"Computer Science and Artificial Intelligence Laboratory, MIT",
+     "32 Vassar Street, Cambridge, MA"},
+    {"Department of Computer Science, University of Illinois",
+     "201 North Goodwin Avenue, Urbana, IL"},
+    {"Department of Computer Sciences, University of Wisconsin",
+     "1210 West Dayton Street, Madison, WI"},
+    {"School of Software, Tsinghua University",
+     "30 Shuangqing Road, Beijing"},
+    {"Department of Computer Science and Engineering, HKUST",
+     "Clear Water Bay, Kowloon, Hong Kong"},
+    {"Department of Systems Engineering, Chinese University of Hong Kong",
+     "Shatin, New Territories, Hong Kong"},
+    {"Department of Computer Science, Cornell University",
+     "107 Hoy Road, Ithaca, NY"},
+    {"Computer Science Division, University of California Berkeley",
+     "387 Soda Hall, Berkeley, CA"},
+    {"AT&T Labs Research", "180 Park Avenue, Florham Park, NJ"},
+    {"IBM Almaden Research Center", "650 Harry Road, San Jose, CA"},
+};
+
+struct TopicInfo {
+  const char* subject;
+  std::array<const char*, 8> keywords;
+};
+
+constexpr TopicInfo kTopics[] = {
+    {"Databases",
+     {"query", "transaction", "index", "relational", "storage", "schema",
+      "optimization", "concurrency"}},
+    {"Machine Learning",
+     {"classifier", "training", "kernel", "gradient", "feature", "bayesian",
+      "regression", "boosting"}},
+    {"Information Retrieval",
+     {"ranking", "document", "corpus", "relevance", "retrieval", "indexing",
+      "term", "precision"}},
+    {"Data Mining",
+     {"pattern", "frequent", "association", "clustering", "itemset",
+      "outlier", "stream", "support"}},
+    {"Computer Networks",
+     {"routing", "protocol", "bandwidth", "congestion", "packet", "wireless",
+      "latency", "topology"}},
+    {"Operating Systems",
+     {"kernel", "scheduling", "filesystem", "virtual", "memory", "process",
+      "driver", "cache"}},
+    {"Computational Theory",
+     {"complexity", "automata", "reduction", "bound", "approximation",
+      "hardness", "algorithm", "proof"}},
+};
+
+}  // namespace
+
+GeneratedData GenerateCiteseer(const CiteseerOptions& options) {
+  DD_CHECK_GE(options.max_duplicates, options.min_duplicates);
+  DD_CHECK_GE(options.min_duplicates, 1u);
+  Rng rng(options.seed);
+  TextPerturber perturber;
+
+  Schema schema({{"address", AttributeType::kString},
+                 {"affiliation", AttributeType::kString},
+                 {"description", AttributeType::kString},
+                 {"subject", AttributeType::kString}});
+  Relation rel(schema);
+  std::vector<std::size_t> entity_ids;
+
+  for (std::size_t e = 0; e < options.num_entities; ++e) {
+    // An entity is a research group: one institution working on one
+    // topic. address+affiliation+description jointly determine subject.
+    const InstitutionInfo& inst =
+        kInstitutions[rng.NextBounded(std::size(kInstitutions))];
+    const TopicInfo& topic = kTopics[rng.NextBounded(std::size(kTopics))];
+
+    // Canonical description: a keyword-heavy abstract fragment.
+    std::vector<std::string> words;
+    const std::size_t len = 5 + rng.NextBounded(4);
+    for (std::size_t w = 0; w < len; ++w) {
+      words.emplace_back(topic.keywords[rng.NextBounded(topic.keywords.size())]);
+    }
+    const std::string description = Join(words, " ");
+
+    const std::size_t copies =
+        options.min_duplicates +
+        rng.NextBounded(options.max_duplicates - options.min_duplicates + 1);
+    for (std::size_t c = 0; c < copies; ++c) {
+      std::string address_v = perturber.Perturb(inst.address, options.perturb, &rng);
+      std::string affiliation_v =
+          perturber.Perturb(inst.affiliation, options.perturb, &rng);
+      std::string description_v =
+          perturber.Perturb(description, options.perturb, &rng);
+      // Subject labels carry light format noise only (case, typos).
+      std::string subject_v = TextPerturber::ApplyTypos(
+          rng.NextBool(0.2) ? ToLower(topic.subject) : topic.subject,
+          options.perturb.mean_typos * 0.3, &rng);
+      Status s = rel.AddRow({std::move(address_v), std::move(affiliation_v),
+                             std::move(description_v), std::move(subject_v)});
+      DD_CHECK(s.ok());
+      entity_ids.push_back(e);
+    }
+  }
+  return GeneratedData{std::move(rel), std::move(entity_ids)};
+}
+
+}  // namespace dd

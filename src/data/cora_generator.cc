@@ -1,0 +1,167 @@
+#include "data/generators.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dd {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "Andrew", "Lei",    "Hong",  "Shaoxu", "Wenfei", "Divesh", "Philip",
+    "Rachel", "Laura",  "Nick",  "Jian",   "Hector", "Serge",  "Jennifer",
+    "David",  "Alon",   "Dan",   "Peter",  "Susan",  "Michael"};
+
+constexpr const char* kLastNames[] = {
+    "McCallum", "Chen",   "Cheng",    "Song",   "Fan",     "Srivastava",
+    "Yu",       "Miller", "Haas",     "Koudas", "Pei",     "Garcia-Molina",
+    "Abiteboul", "Widom", "DeWitt",   "Halevy", "Suciu",   "Buneman",
+    "Davidson", "Stonebraker"};
+
+constexpr const char* kTitleWords[] = {
+    "efficient", "discovery",  "of",          "functional",  "dependencies",
+    "from",      "relational", "data",        "approximate", "string",
+    "matching",  "record",     "linkage",     "quality",     "cleaning",
+    "mining",    "association", "rules",      "large",       "databases",
+    "query",     "processing", "distributed", "systems",     "learning",
+    "clustering", "reference",  "resolution", "conditional", "constraints",
+    "metric",    "distance",   "thresholds",  "violation",   "detection"};
+
+struct VenueInfo {
+  const char* venue;
+  const char* address;
+  const char* publisher;
+  const char* editor;
+};
+
+// Each venue functionally determines address, publisher and editor (the
+// clean Rule 2 dependency), modulo format perturbations per record.
+constexpr VenueInfo kVenues[] = {
+    {"Proceedings of the International Conference on Data Engineering",
+     "1730 Massachusetts Avenue, Washington", "IEEE Computer Society",
+     "Michael Carey"},
+    {"Proceedings of the ACM SIGMOD International Conference",
+     "2 Penn Plaza, New York", "ACM Press", "Stanley Zdonik"},
+    {"Proceedings of the International Conference on Very Large Data Bases",
+     "461 Alta Avenue, Los Gatos", "VLDB Endowment", "Umeshwar Dayal"},
+    {"ACM Transactions on Database Systems", "2 Penn Plaza, New York",
+     "ACM Press", "Zehra Meral Ozsoyoglu"},
+    {"IEEE Transactions on Knowledge and Data Engineering",
+     "10662 Los Vaqueros Circle, Los Alamitos", "IEEE Computer Society",
+     "Jian Pei"},
+    {"Proceedings of the International Conference on Machine Learning",
+     "340 Pine Street, San Francisco", "Morgan Kaufmann", "Tom Fawcett"},
+    {"Proceedings of the Conference on Knowledge Discovery and Data Mining",
+     "2 Penn Plaza, New York", "ACM Press", "Usama Fayyad"},
+    {"Journal of Machine Learning Research", "1 Rogers Street, Cambridge",
+     "MIT Press", "Leslie Kaelbling"},
+    {"The VLDB Journal", "175 Fifth Avenue, New York", "Springer-Verlag",
+     "Renee Miller"},
+    {"Data and Knowledge Engineering", "Radarweg 29, Amsterdam",
+     "Elsevier Science", "Peter Chen"},
+    {"Theoretical Computer Science", "Radarweg 29, Amsterdam",
+     "Elsevier Science", "Giorgio Ausiello"},
+    {"Proceedings of the Symposium on Principles of Database Systems",
+     "2 Penn Plaza, New York", "ACM Press", "Leonid Libkin"},
+    {"Intelligent Data Analysis", "6751 Tepper Drive, Clifton",
+     "IOS Press", "Fazel Famili"},
+    {"Proceedings of the Conference on Information and Knowledge Management",
+     "2 Penn Plaza, New York", "ACM Press", "Jimmy Lin"},
+    {"Computer Journal", "Great Clarendon Street, Oxford",
+     "Oxford University Press", "Fionn Murtagh"},
+    {"IEEE Data Engineering Bulletin",
+     "10662 Los Vaqueros Circle, Los Alamitos", "IEEE Computer Society",
+     "David Lomet"},
+};
+
+// Produces an author-name format variant: the real Cora data mixes
+// "First Last", "F. Last", "Last, F." and "Last, First".
+std::string AuthorVariant(const std::string& first, const std::string& last,
+                          Rng* rng) {
+  switch (rng->NextBounded(4)) {
+    case 0:
+      return first + " " + last;
+    case 1:
+      return std::string(1, first[0]) + ". " + last;
+    case 2:
+      return last + ", " + std::string(1, first[0]) + ".";
+    default:
+      return last + ", " + first;
+  }
+}
+
+std::string YearVariant(int year, Rng* rng) {
+  // Rarely two-digit or parenthesized, as in raw citation strings; the
+  // dominant 4-digit form keeps same-year pairs close under q-gram
+  // distance while different years share almost no q-grams.
+  switch (rng->NextBounded(12)) {
+    case 0:
+      return StrFormat("'%02d", year % 100);
+    case 1:
+      return StrFormat("(%d)", year);
+    default:
+      return StrFormat("%d", year);
+  }
+}
+
+}  // namespace
+
+GeneratedData GenerateCora(const CoraOptions& options) {
+  DD_CHECK_GE(options.max_duplicates, options.min_duplicates);
+  DD_CHECK_GE(options.min_duplicates, 1u);
+  Rng rng(options.seed);
+  TextPerturber perturber;
+
+  Schema schema({{"author", AttributeType::kString},
+                 {"title", AttributeType::kString},
+                 {"venue", AttributeType::kString},
+                 {"year", AttributeType::kString},
+                 {"address", AttributeType::kString},
+                 {"publisher", AttributeType::kString},
+                 {"editor", AttributeType::kString}});
+  Relation rel(schema);
+  std::vector<std::size_t> entity_ids;
+
+  for (std::size_t e = 0; e < options.num_entities; ++e) {
+    // Canonical paper.
+    const std::string first = kFirstNames[rng.NextBounded(std::size(kFirstNames))];
+    const std::string last = kLastNames[rng.NextBounded(std::size(kLastNames))];
+    std::vector<std::string> title_words;
+    const std::size_t title_len = 3 + rng.NextBounded(5);
+    for (std::size_t w = 0; w < title_len; ++w) {
+      title_words.emplace_back(kTitleWords[rng.NextBounded(std::size(kTitleWords))]);
+    }
+    const std::string title = Join(title_words, " ");
+    const VenueInfo& venue = kVenues[rng.NextBounded(std::size(kVenues))];
+    const int year = 1985 + static_cast<int>(rng.NextBounded(21));
+
+    const std::size_t copies =
+        options.min_duplicates +
+        rng.NextBounded(options.max_duplicates - options.min_duplicates + 1);
+    for (std::size_t c = 0; c < copies; ++c) {
+      std::string author = AuthorVariant(first, last, &rng);
+      author = TextPerturber::ApplyTypos(author, options.perturb.mean_typos * 0.5, &rng);
+      std::string title_v = perturber.Perturb(title, options.perturb, &rng);
+      std::string venue_v = perturber.Perturb(venue.venue, options.perturb, &rng);
+      std::string year_v = YearVariant(year, &rng);
+      std::string address_v = perturber.Perturb(venue.address, options.perturb, &rng);
+      std::string publisher_v =
+          perturber.Perturb(venue.publisher, options.perturb, &rng);
+      std::string editor_v = perturber.Perturb(venue.editor, options.perturb, &rng);
+      Status s = rel.AddRow({std::move(author), std::move(title_v),
+                             std::move(venue_v), std::move(year_v),
+                             std::move(address_v), std::move(publisher_v),
+                             std::move(editor_v)});
+      DD_CHECK(s.ok());
+      entity_ids.push_back(e);
+    }
+  }
+  return GeneratedData{std::move(rel), std::move(entity_ids)};
+}
+
+}  // namespace dd

@@ -1,0 +1,85 @@
+#include "data/corruptor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace dd {
+
+Result<CorruptionResult> InjectViolations(
+    const GeneratedData& data, const std::vector<std::string>& dependent_attrs,
+    const CorruptorOptions& options) {
+  if (options.corrupt_fraction < 0.0 || options.corrupt_fraction > 1.0) {
+    return Status::InvalidArgument(
+        StrFormat("corrupt_fraction %.3f outside [0, 1]",
+                  options.corrupt_fraction));
+  }
+  if (data.entity_ids.size() != data.relation.num_rows()) {
+    return Status::InvalidArgument("entity_ids size != relation rows");
+  }
+  DD_ASSIGN_OR_RETURN(std::vector<std::size_t> dep_idx,
+                      data.relation.schema().ResolveAll(dependent_attrs));
+
+  const std::size_t n = data.relation.num_rows();
+  Rng rng(options.seed);
+
+  // Group rows by entity so we can (a) restrict corruption to entities
+  // with >= 2 records and (b) enumerate the induced truth pairs.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> by_entity;
+  for (std::size_t r = 0; r < n; ++r) by_entity[data.entity_ids[r]].push_back(r);
+
+  std::vector<std::size_t> eligible;
+  for (std::size_t r = 0; r < n; ++r) {
+    if (by_entity[data.entity_ids[r]].size() >= 2) eligible.push_back(r);
+  }
+
+  // Deterministic shuffle, then take the first `target` rows.
+  for (std::size_t i = eligible.size(); i > 1; --i) {
+    std::swap(eligible[i - 1], eligible[rng.NextBounded(i)]);
+  }
+  std::size_t target = static_cast<std::size_t>(
+      options.corrupt_fraction * static_cast<double>(n) + 0.5);
+  target = std::min(target, eligible.size());
+
+  CorruptionResult result;
+  result.dirty = data.relation;  // Copy; rows mutated below.
+  std::vector<bool> corrupted(n, false);
+
+  for (std::size_t i = 0; i < target; ++i) {
+    const std::size_t row = eligible[i];
+    // Donor row from a different entity supplies the wrong Y values.
+    std::size_t donor = row;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      std::size_t cand = rng.NextBounded(n);
+      if (data.entity_ids[cand] != data.entity_ids[row]) {
+        donor = cand;
+        break;
+      }
+    }
+    if (donor == row) continue;  // Degenerate single-entity input.
+    for (std::size_t a : dep_idx) {
+      result.dirty.at(row, a) = data.relation.at(donor, a);
+    }
+    corrupted[row] = true;
+    result.corrupted_rows.push_back(row);
+  }
+
+  // Truth pairs: corrupted row x clean row of the same entity.
+  for (std::size_t row : result.corrupted_rows) {
+    for (std::size_t peer : by_entity[data.entity_ids[row]]) {
+      if (peer == row || corrupted[peer]) continue;
+      result.truth_pairs.emplace_back(
+          static_cast<std::uint32_t>(std::min(row, peer)),
+          static_cast<std::uint32_t>(std::max(row, peer)));
+    }
+  }
+  std::sort(result.truth_pairs.begin(), result.truth_pairs.end());
+  result.truth_pairs.erase(
+      std::unique(result.truth_pairs.begin(), result.truth_pairs.end()),
+      result.truth_pairs.end());
+  return result;
+}
+
+}  // namespace dd

@@ -1,0 +1,48 @@
+// Violation injection: produces the "dirty" instance used by the
+// paper's effectiveness experiments (Tables III and IV). Random rows get
+// their dependent-attribute values swapped with values from a different
+// entity, creating tuple pairs that are similar on X but dissimilar on Y
+// — exactly the violations a DD should detect. The induced violating
+// pairs are recorded as ground truth for precision/recall.
+
+#ifndef DD_DATA_CORRUPTOR_H_
+#define DD_DATA_CORRUPTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/generators.h"
+#include "data/relation.h"
+
+namespace dd {
+
+struct CorruptorOptions {
+  // Fraction of rows whose dependent values are replaced.
+  double corrupt_fraction = 0.05;
+  std::uint64_t seed = 7;
+};
+
+struct CorruptionResult {
+  // The dirty instance (same schema and row order as the clean input).
+  Relation dirty;
+  // Ground-truth violating pairs (i < j): a corrupted row paired with a
+  // clean row of the same entity.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> truth_pairs;
+  // Which rows were corrupted.
+  std::vector<std::size_t> corrupted_rows;
+};
+
+// Corrupts `dependent_attrs` of a random subset of rows. Only rows whose
+// entity has at least two records are eligible (otherwise no observable
+// violating pair exists). Fails when an attribute name is unknown or the
+// fraction is outside [0, 1].
+Result<CorruptionResult> InjectViolations(
+    const GeneratedData& data, const std::vector<std::string>& dependent_attrs,
+    const CorruptorOptions& options);
+
+}  // namespace dd
+
+#endif  // DD_DATA_CORRUPTOR_H_

@@ -1,0 +1,170 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dd {
+
+namespace {
+
+// Splits CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<std::string>>> Tokenize(std::string_view text,
+                                                       char sep) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  std::size_t i = 0;
+  auto end_field = [&] {
+    fields.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&] {
+    end_field();
+    records.push_back(std::move(fields));
+    fields.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field += c;
+      ++i;
+      continue;
+    }
+    if (c == '"' && !field_started) {
+      in_quotes = true;
+      field_started = true;
+      ++i;
+      continue;
+    }
+    if (c == sep) {
+      end_field();
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // Tolerate CRLF.
+      continue;
+    }
+    if (c == '\n') {
+      end_record();
+      ++i;
+      continue;
+    }
+    field += c;
+    field_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  // Final record without a trailing newline.
+  if (!field.empty() || field_started || !fields.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+bool NeedsQuoting(std::string_view field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, std::string_view field, char sep) {
+  if (!NeedsQuoting(field, sep)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Relation> ParseCsv(std::string_view text, const CsvOptions& options) {
+  DD_ASSIGN_OR_RETURN(auto records, Tokenize(text, options.separator));
+  if (records.empty()) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  Schema schema;
+  std::size_t first_data = 0;
+  if (options.has_header) {
+    for (const auto& name : records[0]) {
+      DD_RETURN_IF_ERROR(
+          schema.AddAttribute({std::string(Trim(name)), AttributeType::kString}));
+    }
+    first_data = 1;
+  } else {
+    for (std::size_t c = 0; c < records[0].size(); ++c) {
+      DD_RETURN_IF_ERROR(
+          schema.AddAttribute({StrFormat("c%zu", c), AttributeType::kString}));
+    }
+  }
+  Relation rel(schema);
+  rel.Reserve(records.size() - first_data);
+  for (std::size_t r = first_data; r < records.size(); ++r) {
+    DD_RETURN_IF_ERROR(rel.AddRow(std::move(records[r])));
+  }
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+std::string ToCsv(const Relation& relation, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (std::size_t c = 0; c < relation.num_attributes(); ++c) {
+      if (c > 0) out.push_back(options.separator);
+      AppendField(&out, relation.schema().attribute(c).name, options.separator);
+    }
+    out.push_back('\n');
+  }
+  for (std::size_t r = 0; r < relation.num_rows(); ++r) {
+    for (std::size_t c = 0; c < relation.num_attributes(); ++c) {
+      if (c > 0) out.push_back(options.separator);
+      AppendField(&out, relation.at(r, c), options.separator);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << ToCsv(relation, options);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace dd

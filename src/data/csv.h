@@ -1,0 +1,39 @@
+// RFC-4180-style CSV reader/writer for Relation. Quoted fields may
+// contain separators, quotes (doubled), and newlines.
+
+#ifndef DD_DATA_CSV_H_
+#define DD_DATA_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace dd {
+
+struct CsvOptions {
+  char separator = ',';
+  // When true the first record is a header naming the attributes.
+  bool has_header = true;
+};
+
+// Parses CSV text into a Relation. All attributes are typed kString;
+// callers may re-declare numeric attributes via the schema afterwards.
+// Without a header, attributes are named c0, c1, ....
+Result<Relation> ParseCsv(std::string_view text, const CsvOptions& options = {});
+
+// Reads a CSV file from disk.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+// Serializes a relation (header + rows) to CSV text.
+std::string ToCsv(const Relation& relation, const CsvOptions& options = {});
+
+// Writes a relation to a CSV file.
+Status WriteCsvFile(const Relation& relation, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace dd
+
+#endif  // DD_DATA_CSV_H_

@@ -1,0 +1,27 @@
+#include "data/generators.h"
+
+#include "common/logging.h"
+
+namespace dd {
+
+GeneratedData HotelExample() {
+  Schema schema({{"Name", AttributeType::kString},
+                 {"Address", AttributeType::kString},
+                 {"Region", AttributeType::kString}});
+  Relation rel(schema);
+  const char* rows[][3] = {
+      {"West Wood Hotel", "Fifth Avenue, 61st Street", "Chicago"},
+      {"West Wood", "Fifth Avenue, 61st Street", "Chicago, IL"},
+      {"West Wood (61)", "5th Avenue, 61st St.", "Chicago, IL"},
+      {"St. Regis Hotel", "No.3, West Lake Road.", "Boston, MA"},
+      {"St. Regis Hotel", "#3, West Lake Rd.", "Boston"},
+      {"St. Regis", "#3, West Lake Rd.", "Chicago, MA"},
+  };
+  for (const auto& r : rows) {
+    Status s = rel.AddRow({r[0], r[1], r[2]});
+    DD_CHECK(s.ok());
+  }
+  return GeneratedData{std::move(rel), {0, 0, 0, 1, 1, 1}};
+}
+
+}  // namespace dd

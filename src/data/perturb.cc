@@ -1,0 +1,113 @@
+#include "data/perturb.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace dd {
+
+namespace {
+
+const std::pair<const char*, const char*> kDefaultAbbreviations[] = {
+    {"Street", "St."},     {"Avenue", "Ave."},     {"Road", "Rd."},
+    {"Boulevard", "Blvd."}, {"Drive", "Dr."},      {"Number", "No."},
+    {"First", "1st"},      {"Second", "2nd"},      {"Third", "3rd"},
+    {"Fourth", "4th"},     {"Fifth", "5th"},       {"Sixth", "6th"},
+    {"Seventh", "7th"},    {"Eighth", "8th"},      {"Ninth", "9th"},
+    {"International", "Intl."}, {"Conference", "Conf."},
+    {"Proceedings", "Proc."},   {"Journal", "J."},
+    {"Transactions", "Trans."}, {"University", "Univ."},
+    {"Department", "Dept."},    {"Association", "Assoc."},
+    {"Symposium", "Symp."},     {"Restaurant", "Rest."},
+    {"and", "&"},
+};
+
+// Replaces the first occurrence of `from` (as a substring) with `to`.
+bool ReplaceFirst(std::string* s, std::string_view from, std::string_view to) {
+  std::size_t pos = s->find(from);
+  if (pos == std::string::npos) return false;
+  s->replace(pos, from.size(), to);
+  return true;
+}
+
+}  // namespace
+
+TextPerturber::TextPerturber() {
+  abbreviations_.reserve(std::size(kDefaultAbbreviations));
+  for (const auto& [longf, shortf] : kDefaultAbbreviations) {
+    abbreviations_.emplace_back(longf, shortf);
+  }
+}
+
+TextPerturber::TextPerturber(
+    std::vector<std::pair<std::string, std::string>> abbreviations)
+    : abbreviations_(std::move(abbreviations)) {}
+
+std::string TextPerturber::ApplyAbbreviations(std::string_view value,
+                                              double prob, Rng* rng) const {
+  std::string out(value);
+  for (const auto& [longf, shortf] : abbreviations_) {
+    if (out.find(longf) != std::string::npos) {
+      if (rng->NextBool(prob)) ReplaceFirst(&out, longf, shortf);
+    } else if (out.find(shortf) != std::string::npos) {
+      // Expand in the other direction occasionally: both representation
+      // directions occur in real data.
+      if (rng->NextBool(prob * 0.3)) ReplaceFirst(&out, shortf, longf);
+    }
+  }
+  return out;
+}
+
+std::string TextPerturber::ApplyTypos(std::string_view value,
+                                      double mean_typos, Rng* rng) {
+  std::string out(value);
+  if (out.empty() || mean_typos <= 0.0) return out;
+  // Poisson-ish draw: number of edits = floor(mean) + Bernoulli(frac).
+  int edits = static_cast<int>(mean_typos);
+  if (rng->NextBool(mean_typos - static_cast<double>(edits))) ++edits;
+  for (int e = 0; e < edits && !out.empty(); ++e) {
+    std::size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(3)) {
+      case 0:  // substitute
+        out[pos] = static_cast<char>('a' + rng->NextBounded(26));
+        break;
+      case 1:  // delete
+        out.erase(pos, 1);
+        break;
+      default:  // insert
+        out.insert(pos, 1, static_cast<char>('a' + rng->NextBounded(26)));
+        break;
+    }
+  }
+  return out;
+}
+
+std::string TextPerturber::DropToken(std::string_view value, Rng* rng) {
+  std::vector<std::string> tokens = SplitWhitespace(value);
+  if (tokens.size() <= 1) return std::string(value);
+  tokens.erase(tokens.begin() +
+               static_cast<std::ptrdiff_t>(rng->NextBounded(tokens.size())));
+  return Join(tokens, " ");
+}
+
+std::string TextPerturber::StripPunctuation(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (!std::ispunct(static_cast<unsigned char>(c))) out += c;
+  }
+  return out;
+}
+
+std::string TextPerturber::Perturb(std::string_view value,
+                                   const PerturbOptions& options,
+                                   Rng* rng) const {
+  std::string out = ApplyAbbreviations(value, options.abbreviation_prob, rng);
+  if (rng->NextBool(options.token_drop_prob)) out = DropToken(out, rng);
+  if (rng->NextBool(options.strip_punct_prob)) out = StripPunctuation(out);
+  if (rng->NextBool(options.lowercase_prob)) out = ToLower(out);
+  out = ApplyTypos(out, options.mean_typos, rng);
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,60 @@
+// Text perturbation used by the synthetic dataset generators to mimic
+// the real-world representation-format variations the paper motivates
+// ("Fifth Avenue, 61st Street" vs "5th Avenue, 61st St."): dictionary
+// abbreviations, character-level typos, token dropping, and punctuation
+// or case noise.
+
+#ifndef DD_DATA_PERTURB_H_
+#define DD_DATA_PERTURB_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dd {
+
+struct PerturbOptions {
+  // Probability that each applicable dictionary abbreviation fires.
+  double abbreviation_prob = 0.5;
+  // Expected number of character-level edits (insert/delete/substitute).
+  double mean_typos = 0.7;
+  // Probability of dropping one token (never the only token).
+  double token_drop_prob = 0.15;
+  // Probability of lowercasing the whole value.
+  double lowercase_prob = 0.1;
+  // Probability of stripping punctuation characters.
+  double strip_punct_prob = 0.15;
+};
+
+// Applies format-variation noise to strings. Stateless apart from the
+// abbreviation dictionary; all randomness comes from the caller's Rng.
+class TextPerturber {
+ public:
+  // Uses the built-in dictionary of common abbreviations (Street->St.,
+  // Avenue->Ave., and bidirectional forms).
+  TextPerturber();
+  explicit TextPerturber(
+      std::vector<std::pair<std::string, std::string>> abbreviations);
+
+  // Returns a perturbed copy of `value`.
+  std::string Perturb(std::string_view value, const PerturbOptions& options,
+                      Rng* rng) const;
+
+  // Individual perturbation stages, exposed for testing.
+  std::string ApplyAbbreviations(std::string_view value, double prob,
+                                 Rng* rng) const;
+  static std::string ApplyTypos(std::string_view value, double mean_typos,
+                                Rng* rng);
+  static std::string DropToken(std::string_view value, Rng* rng);
+  static std::string StripPunctuation(std::string_view value);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> abbreviations_;
+};
+
+}  // namespace dd
+
+#endif  // DD_DATA_PERTURB_H_

@@ -1,0 +1,42 @@
+#include "data/relation.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace dd {
+
+Status Relation::AddRow(std::vector<std::string> values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(StrFormat(
+        "row arity %zu does not match schema arity %zu", values.size(),
+        schema_.num_attributes()));
+  }
+  rows_.push_back(std::move(values));
+  return Status::Ok();
+}
+
+Result<std::string> Relation::Value(std::size_t r,
+                                    std::string_view name) const {
+  if (r >= rows_.size()) {
+    return Status::OutOfRange(StrFormat("row %zu of %zu", r, rows_.size()));
+  }
+  DD_ASSIGN_OR_RETURN(std::size_t idx, schema_.IndexOf(name));
+  return rows_[r][idx];
+}
+
+Result<Relation> Relation::Slice(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > rows_.size()) {
+    return Status::OutOfRange(
+        StrFormat("slice [%zu, %zu) of %zu rows", begin, end, rows_.size()));
+  }
+  Relation out(schema_);
+  out.Reserve(end - begin);
+  for (std::size_t r = begin; r < end; ++r) {
+    Status s = out.AddRow(rows_[r]);
+    if (!s.ok()) return s;
+  }
+  return out;
+}
+
+}  // namespace dd

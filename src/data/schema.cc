@@ -1,0 +1,78 @@
+#include "data/schema.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace dd {
+
+std::string_view AttributeTypeName(AttributeType type) {
+  switch (type) {
+    case AttributeType::kString:
+      return "string";
+    case AttributeType::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<Attribute> attributes) {
+  for (auto& a : attributes) {
+    Status s = AddAttribute(std::move(a));
+    DD_CHECK(s.ok());
+  }
+}
+
+Status Schema::AddAttribute(Attribute attribute) {
+  if (Contains(attribute.name)) {
+    return Status::AlreadyExists("duplicate attribute name: " + attribute.name);
+  }
+  attributes_.push_back(std::move(attribute));
+  return Status::Ok();
+}
+
+Result<std::size_t> Schema::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("attribute not in schema: " + std::string(name));
+}
+
+bool Schema::Contains(std::string_view name) const {
+  return IndexOf(name).ok();
+}
+
+Result<std::vector<std::size_t>> Schema::ResolveAll(
+    const std::vector<std::string>& names) const {
+  std::vector<std::size_t> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    DD_ASSIGN_OR_RETURN(std::size_t idx, IndexOf(n));
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += AttributeTypeName(attributes_[i].type);
+  }
+  return out;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.attributes_.size() != b.attributes_.size()) return false;
+  for (std::size_t i = 0; i < a.attributes_.size(); ++i) {
+    if (a.attributes_[i].name != b.attributes_[i].name ||
+        a.attributes_[i].type != b.attributes_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dd

@@ -1,0 +1,65 @@
+// Relational schema: ordered attributes with a declared type. The type
+// drives the default distance metric chosen for an attribute (edit
+// distance for strings, absolute difference for numerics).
+
+#ifndef DD_DATA_SCHEMA_H_
+#define DD_DATA_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dd {
+
+enum class AttributeType {
+  kString,
+  kNumeric,
+};
+
+std::string_view AttributeTypeName(AttributeType type);
+
+struct Attribute {
+  std::string name;
+  AttributeType type = AttributeType::kString;
+};
+
+// Immutable after construction apart from AddAttribute. Attribute names
+// must be unique (case-sensitive).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  // Appends an attribute; fails with AlreadyExists on a duplicate name.
+  Status AddAttribute(Attribute attribute);
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  // Index of the attribute called `name`, or NotFound.
+  Result<std::size_t> IndexOf(std::string_view name) const;
+
+  // True when `name` is an attribute of this schema.
+  bool Contains(std::string_view name) const;
+
+  // Resolves a list of names to indices; fails on the first unknown name.
+  Result<std::vector<std::size_t>> ResolveAll(
+      const std::vector<std::string>& names) const;
+
+  // "name:type, name:type, ..." — for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace dd
+
+#endif  // DD_DATA_SCHEMA_H_

@@ -1,0 +1,45 @@
+#include "detect/detection_eval.h"
+
+#include <algorithm>
+
+namespace dd {
+
+namespace {
+
+PairList Normalized(const PairList& pairs) {
+  PairList out;
+  out.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    out.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+DetectionQuality EvaluateDetection(const PairList& found,
+                                   const PairList& truth) {
+  const PairList f = Normalized(found);
+  const PairList t = Normalized(truth);
+  DetectionQuality q;
+  q.found_size = f.size();
+  q.truth_size = t.size();
+  PairList inter;
+  std::set_intersection(f.begin(), f.end(), t.begin(), t.end(),
+                        std::back_inserter(inter));
+  q.hits = inter.size();
+  q.precision = f.empty() ? 1.0
+                          : static_cast<double>(q.hits) /
+                                static_cast<double>(f.size());
+  q.recall = t.empty() ? 1.0
+                       : static_cast<double>(q.hits) /
+                             static_cast<double>(t.size());
+  q.f_measure = (q.precision + q.recall) > 0.0
+                    ? 2.0 * q.precision * q.recall / (q.precision + q.recall)
+                    : 0.0;
+  return q;
+}
+
+}  // namespace dd

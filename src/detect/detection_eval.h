@@ -1,0 +1,29 @@
+// Precision / recall / F-measure of detected violating pairs against
+// the injected ground truth (paper §VI-A, van Rijsbergen's F).
+
+#ifndef DD_DETECT_DETECTION_EVAL_H_
+#define DD_DETECT_DETECTION_EVAL_H_
+
+#include <cstddef>
+
+#include "detect/violation_detector.h"
+
+namespace dd {
+
+struct DetectionQuality {
+  std::size_t truth_size = 0;  // |truth|
+  std::size_t found_size = 0;  // |found|
+  std::size_t hits = 0;        // |truth ∩ found|
+  double precision = 0.0;      // hits / found (1.0 when found is empty)
+  double recall = 0.0;         // hits / truth (1.0 when truth is empty)
+  double f_measure = 0.0;      // harmonic mean of precision and recall
+};
+
+// Compares pair sets; order within each pair and duplicates are
+// normalized before matching.
+DetectionQuality EvaluateDetection(const PairList& found,
+                                   const PairList& truth);
+
+}  // namespace dd
+
+#endif  // DD_DETECT_DETECTION_EVAL_H_

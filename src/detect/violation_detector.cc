@@ -1,0 +1,48 @@
+#include "detect/violation_detector.h"
+
+#include "common/logging.h"
+
+namespace dd {
+
+PairList DetectViolationsIn(const MatchingRelation& matching,
+                            const ResolvedRule& rule, const Pattern& pattern) {
+  DD_CHECK_EQ(pattern.lhs.size(), rule.lhs.size());
+  DD_CHECK_EQ(pattern.rhs.size(), rule.rhs.size());
+  PairList found;
+  const std::size_t m = matching.num_tuples();
+  for (std::size_t row = 0; row < m; ++row) {
+    bool lhs_sat = true;
+    for (std::size_t a = 0; a < rule.lhs.size(); ++a) {
+      if (static_cast<int>(matching.level(row, rule.lhs[a])) >
+          pattern.lhs[a]) {
+        lhs_sat = false;
+        break;
+      }
+    }
+    if (!lhs_sat) continue;
+    bool rhs_sat = true;
+    for (std::size_t a = 0; a < rule.rhs.size(); ++a) {
+      if (static_cast<int>(matching.level(row, rule.rhs[a])) >
+          pattern.rhs[a]) {
+        rhs_sat = false;
+        break;
+      }
+    }
+    if (!rhs_sat) found.push_back(matching.pair(row));
+  }
+  return found;
+}
+
+Result<PairList> DetectViolations(const Relation& dirty, const RuleSpec& rule,
+                                  const Pattern& pattern,
+                                  const MatchingOptions& matching_options) {
+  MatchingOptions all_pairs = matching_options;
+  all_pairs.max_pairs = 0;  // Detection must consider every pair.
+  DD_ASSIGN_OR_RETURN(
+      MatchingRelation matching,
+      BuildMatchingRelation(dirty, rule.AllAttributes(), all_pairs));
+  DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
+  return DetectViolationsIn(matching, resolved, pattern);
+}
+
+}  // namespace dd

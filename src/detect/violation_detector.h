@@ -1,0 +1,37 @@
+// Violation detection — the application the paper uses to evaluate how
+// useful a determined pattern is (§VI-A). A tuple pair violates the DD
+// (X → Y, ϕ) when its distances satisfy every threshold of ϕ[X] but
+// exceed at least one threshold of ϕ[Y].
+
+#ifndef DD_DETECT_VIOLATION_DETECTOR_H_
+#define DD_DETECT_VIOLATION_DETECTOR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pattern.h"
+#include "core/rule.h"
+#include "data/relation.h"
+#include "matching/builder.h"
+#include "matching/matching_relation.h"
+
+namespace dd {
+
+using PairList = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+// Detects violating pairs against a pre-built matching relation (use
+// this when checking several patterns on the same dirty instance).
+PairList DetectViolationsIn(const MatchingRelation& matching,
+                            const ResolvedRule& rule, const Pattern& pattern);
+
+// Convenience: builds the matching relation over the rule's attributes
+// of `dirty` (all pairs) and detects. Fails on unresolvable rules.
+Result<PairList> DetectViolations(const Relation& dirty, const RuleSpec& rule,
+                                  const Pattern& pattern,
+                                  const MatchingOptions& matching_options);
+
+}  // namespace dd
+
+#endif  // DD_DETECT_VIOLATION_DETECTOR_H_

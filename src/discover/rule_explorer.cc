@@ -1,0 +1,88 @@
+#include "discover/rule_explorer.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace dd {
+
+namespace {
+
+// Emits all non-empty subsets of `pool` with at most `max_size`
+// elements, preserving pool order within each subset.
+void ForEachSubset(const std::vector<std::string>& pool, std::size_t max_size,
+                   const std::function<void(std::vector<std::string>)>& fn) {
+  const std::size_t n = pool.size();
+  DD_CHECK_LT(n, 8 * sizeof(std::size_t));
+  for (std::size_t mask = 1; mask < (std::size_t{1} << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) > max_size) {
+      continue;
+    }
+    std::vector<std::string> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (std::size_t{1} << i)) subset.push_back(pool[i]);
+    }
+    fn(std::move(subset));
+  }
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredRule>> DiscoverRules(
+    const Relation& relation, const ExploreOptions& options,
+    const std::vector<std::string>& attributes) {
+  std::vector<std::string> attrs = attributes;
+  if (attrs.empty()) {
+    for (const auto& a : relation.schema().attributes()) {
+      attrs.push_back(a.name);
+    }
+  }
+  if (attrs.size() < 2) {
+    return Status::InvalidArgument(
+        "rule discovery needs at least two attributes");
+  }
+  if (attrs.size() > 16) {
+    return Status::InvalidArgument(
+        "rule discovery over more than 16 attributes is not supported");
+  }
+
+  // One pairwise matching pass over all attributes serves every rule.
+  DD_ASSIGN_OR_RETURN(MatchingRelation matching,
+                      BuildMatchingRelation(relation, attrs, options.matching));
+
+  std::vector<DiscoveredRule> discovered;
+  Status failure = Status::Ok();
+  for (const auto& target : attrs) {
+    std::vector<std::string> pool;
+    for (const auto& a : attrs) {
+      if (a != target) pool.push_back(a);
+    }
+    ForEachSubset(pool, options.max_lhs_size, [&](std::vector<std::string> lhs) {
+      if (!failure.ok()) return;
+      RuleSpec rule{std::move(lhs), {target}};
+      auto result = DetermineThresholds(matching, rule, options.determine);
+      if (!result.ok()) {
+        failure = result.status();
+        return;
+      }
+      if (result->patterns.empty()) return;
+      if (result->patterns.front().utility <= options.min_utility) return;
+      discovered.push_back(DiscoveredRule{std::move(rule),
+                                          result->patterns.front(),
+                                          result->prior_mean_cq});
+    });
+    if (!failure.ok()) return failure;
+  }
+
+  std::sort(discovered.begin(), discovered.end(),
+            [](const DiscoveredRule& a, const DiscoveredRule& b) {
+              return a.best.utility > b.best.utility;
+            });
+  if (options.top_rules > 0 && discovered.size() > options.top_rules) {
+    discovered.resize(options.top_rules);
+  }
+  return discovered;
+}
+
+}  // namespace dd

@@ -1,0 +1,60 @@
+// Rule exploration: the paper determines thresholds for user-given
+// attribute pairs X -> Y; this module closes the loop with dependency
+// discovery in the TANE tradition (Huhtala et al., cited as [17]) —
+// enumerate candidate rules over a relation's attributes, determine the
+// best threshold pattern for each with the parameter-free expected
+// utility, and rank the rules. The O(1)-count grid provider makes the
+// sweep cheap: one pairwise matching pass serves every candidate rule.
+
+#ifndef DD_DISCOVER_RULE_EXPLORER_H_
+#define DD_DISCOVER_RULE_EXPLORER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/determiner.h"
+#include "data/relation.h"
+#include "matching/builder.h"
+
+namespace dd {
+
+struct ExploreOptions {
+  // Candidate rules have a single dependent attribute and up to
+  // max_lhs_size determinant attributes.
+  std::size_t max_lhs_size = 2;
+
+  // Matching-relation construction (dmax, sampling, metrics).
+  MatchingOptions matching;
+
+  // Per-rule determination; the provider defaults to "grid" because the
+  // sweep evaluates many rules over one matching relation.
+  DetermineOptions determine;
+
+  // Keep the best `top_rules` rules (0 = all).
+  std::size_t top_rules = 10;
+
+  // Rules whose best utility does not exceed the utility of the trivial
+  // empty answer are dropped.
+  double min_utility = 0.0;
+
+  ExploreOptions() { determine.provider = "grid"; }
+};
+
+struct DiscoveredRule {
+  RuleSpec rule;
+  DeterminedPattern best;
+  double prior_mean_cq = 0.0;
+};
+
+// Enumerates and ranks candidate rules over all attributes of
+// `relation` (or `attributes` when non-empty). Fails on unknown
+// attributes or relations with fewer than two attributes.
+Result<std::vector<DiscoveredRule>> DiscoverRules(
+    const Relation& relation, const ExploreOptions& options,
+    const std::vector<std::string>& attributes = {});
+
+}  // namespace dd
+
+#endif  // DD_DISCOVER_RULE_EXPLORER_H_

@@ -1,0 +1,136 @@
+#include "matching/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "metric/metric.h"
+
+namespace dd {
+
+namespace {
+
+// Decodes the k-th pair (0-based) of the row-major upper-triangular
+// enumeration over n items into (i, j) with i < j.
+std::pair<std::uint32_t, std::uint32_t> DecodePair(std::uint64_t k,
+                                                   std::uint64_t n) {
+  // Row r holds the n-1-r pairs (r, r+1..n-1), so pairs before row r
+  // number r*(n-1) - r*(r-1)/2. Start from the quadratic-formula
+  // estimate of the row, then correct by +-1 steps.
+  double nd = static_cast<double>(n);
+  double kd = static_cast<double>(k);
+  double approx = nd - 0.5 - std::sqrt((nd - 0.5) * (nd - 0.5) - 2.0 * kd);
+  std::uint64_t i = approx > 0 ? static_cast<std::uint64_t>(approx) : 0;
+  if (i >= n - 1) i = n - 2;
+  auto row_start = [n](std::uint64_t r) {
+    return r * (n - 1) - r * (r - 1) / 2;  // offset of pair (r, r+1)
+  };
+  while (i + 1 < n && row_start(i + 1) <= k) ++i;
+  while (i > 0 && row_start(i) > k) --i;
+  std::uint64_t j = i + 1 + (k - row_start(i));
+  return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+}
+
+}  // namespace
+
+Level BucketDistance(double raw, double scale, int dmax) {
+  if (!(raw >= 0.0)) raw = 0.0;  // NaN or negative metrics clamp to 0.
+  double scaled = raw * scale;
+  if (std::isinf(scaled) || scaled >= static_cast<double>(dmax)) {
+    return static_cast<Level>(dmax);
+  }
+  long level = std::lround(scaled);
+  if (level < 0) level = 0;
+  if (level > dmax) level = dmax;
+  return static_cast<Level>(level);
+}
+
+Result<MatchingRelation> BuildMatchingRelation(
+    const Relation& relation, const std::vector<std::string>& attributes,
+    const MatchingOptions& options) {
+  if (options.dmax < 1 || options.dmax > 255) {
+    return Status::InvalidArgument(
+        StrFormat("dmax %d outside [1, 255]", options.dmax));
+  }
+  if (attributes.empty()) {
+    return Status::InvalidArgument("no attributes given");
+  }
+  DD_ASSIGN_OR_RETURN(std::vector<std::size_t> attr_idx,
+                      relation.schema().ResolveAll(attributes));
+
+  // Resolve metric and scale per attribute.
+  std::vector<std::unique_ptr<DistanceMetric>> metrics;
+  std::vector<double> scales;
+  metrics.reserve(attributes.size());
+  for (std::size_t a = 0; a < attributes.size(); ++a) {
+    const Attribute& attr = relation.schema().attribute(attr_idx[a]);
+    std::string metric_name =
+        attr.type == AttributeType::kNumeric ? "numeric_abs" : "levenshtein";
+    auto it = options.metric_overrides.find(attr.name);
+    if (it != options.metric_overrides.end()) metric_name = it->second;
+    DD_ASSIGN_OR_RETURN(auto metric,
+                        MetricRegistry::Default().Create(metric_name));
+    double scale = metric->is_normalized() ? static_cast<double>(options.dmax)
+                                           : 1.0;
+    auto sit = options.scale_overrides.find(attr.name);
+    if (sit != options.scale_overrides.end()) scale = sit->second;
+    if (!(scale > 0.0)) {
+      return Status::InvalidArgument("scale must be positive for " + attr.name);
+    }
+    metrics.push_back(std::move(metric));
+    scales.push_back(scale);
+  }
+
+  const std::uint64_t n = relation.num_rows();
+  const std::uint64_t total_pairs = n * (n - 1) / 2;
+  MatchingRelation out(attributes, options.dmax);
+
+  // The cap at which BoundedDistance may stop early: any raw distance
+  // mapping to >= dmax is equivalent, so raw cap = dmax / scale.
+  auto compute_levels = [&](std::uint32_t i, std::uint32_t j,
+                            std::vector<Level>* levels) {
+    for (std::size_t a = 0; a < attr_idx.size(); ++a) {
+      const std::string& va = relation.at(i, attr_idx[a]);
+      const std::string& vb = relation.at(j, attr_idx[a]);
+      const double cap = static_cast<double>(options.dmax) / scales[a];
+      double raw = metrics[a]->BoundedDistance(va, vb, cap);
+      (*levels)[a] = BucketDistance(raw, scales[a], options.dmax);
+    }
+  };
+
+  std::vector<Level> levels(attributes.size());
+  if (options.max_pairs == 0 || options.max_pairs >= total_pairs) {
+    out.Reserve(total_pairs);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        compute_levels(i, j, &levels);
+        out.AddTuple(i, j, levels);
+      }
+    }
+    return out;
+  }
+
+  // Uniform sample without replacement over the triangular enumeration.
+  Rng rng(options.seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(options.max_pairs * 2);
+  std::vector<std::uint64_t> ks;
+  ks.reserve(options.max_pairs);
+  while (ks.size() < options.max_pairs) {
+    std::uint64_t k = rng.NextBounded(total_pairs);
+    if (chosen.insert(k).second) ks.push_back(k);
+  }
+  std::sort(ks.begin(), ks.end());
+  out.Reserve(ks.size());
+  for (std::uint64_t k : ks) {
+    auto [i, j] = DecodePair(k, n);
+    compute_levels(i, j, &levels);
+    out.AddTuple(i, j, levels);
+  }
+  return out;
+}
+
+}  // namespace dd

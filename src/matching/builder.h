@@ -1,0 +1,56 @@
+// Pair-wise matching: computes the matching relation M from a data
+// relation by evaluating a distance metric per attribute on every tuple
+// pair (optionally a uniform sample of pairs, to bound |M| like the
+// paper's 1,000,000-matching-tuple preparation) and bucketing raw
+// distances into the threshold domain {0..dmax}.
+
+#ifndef DD_MATCHING_BUILDER_H_
+#define DD_MATCHING_BUILDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "matching/matching_relation.h"
+
+namespace dd {
+
+struct MatchingOptions {
+  // Number of distance levels is dmax + 1 (levels 0..dmax). The paper's
+  // experiments use a domain like {0, 1, ..., 10}.
+  int dmax = 10;
+
+  // Upper bound on |M|. 0 means all N(N-1)/2 pairs; otherwise a uniform
+  // sample without replacement of exactly min(max_pairs, total) pairs.
+  std::size_t max_pairs = 0;
+
+  // Seed for pair sampling.
+  std::uint64_t seed = 1;
+
+  // Metric per attribute name; attributes not listed default to
+  // "levenshtein" for string attributes and "numeric_abs" for numerics.
+  std::map<std::string, std::string> metric_overrides;
+
+  // Raw distances are mapped to levels as
+  //   level = min(round(raw * scale), dmax).
+  // Default scale is 1.0 for unbounded metrics (raw edit distance counts
+  // directly) and dmax for normalized metrics (so [0,1] spreads over the
+  // full domain). Overrides replace the default per attribute.
+  std::map<std::string, double> scale_overrides;
+};
+
+// Builds M over `attributes` (the union of the rule's X and Y). Fails on
+// unknown attributes/metrics or a dmax outside [1, 255].
+Result<MatchingRelation> BuildMatchingRelation(
+    const Relation& relation, const std::vector<std::string>& attributes,
+    const MatchingOptions& options);
+
+// Maps one raw distance to a level (exposed for tests and the detector).
+Level BucketDistance(double raw, double scale, int dmax);
+
+}  // namespace dd
+
+#endif  // DD_MATCHING_BUILDER_H_

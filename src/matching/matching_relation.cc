@@ -1,0 +1,30 @@
+#include "matching/matching_relation.h"
+
+#include "common/logging.h"
+
+namespace dd {
+
+Result<std::size_t> MatchingRelation::IndexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < attribute_names_.size(); ++i) {
+    if (attribute_names_[i] == name) return i;
+  }
+  return Status::NotFound("attribute not in matching relation: " +
+                          std::string(name));
+}
+
+void MatchingRelation::AddTuple(std::uint32_t i, std::uint32_t j,
+                                const std::vector<Level>& levels) {
+  DD_CHECK_EQ(levels.size(), columns_.size());
+  for (std::size_t a = 0; a < levels.size(); ++a) {
+    DD_CHECK_LE(static_cast<int>(levels[a]), dmax_);
+    columns_[a].push_back(levels[a]);
+  }
+  pairs_.emplace_back(i, j);
+}
+
+void MatchingRelation::Reserve(std::size_t rows) {
+  for (auto& col : columns_) col.reserve(rows);
+  pairs_.reserve(rows);
+}
+
+}  // namespace dd

@@ -1,0 +1,75 @@
+// The matching relation M: one "matching tuple" per pair of data tuples,
+// holding the pairwise distance on every attribute of interest, bucketed
+// into the integer threshold domain {0, ..., dmax}. The paper
+// pre-computes M once and evaluates every candidate threshold pattern
+// against it; this implementation stores M columnar (one contiguous
+// level array per attribute) so that counting tuples satisfying a
+// pattern is a tight sequential scan.
+
+#ifndef DD_MATCHING_MATCHING_RELATION_H_
+#define DD_MATCHING_MATCHING_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dd {
+
+// A bucketed distance level in [0, dmax]. dmax is capped at 255.
+using Level = std::uint8_t;
+
+class MatchingRelation {
+ public:
+  MatchingRelation(std::vector<std::string> attribute_names, int dmax)
+      : attribute_names_(std::move(attribute_names)),
+        dmax_(dmax),
+        columns_(attribute_names_.size()) {}
+
+  std::size_t num_tuples() const { return pairs_.size(); }
+  std::size_t num_attributes() const { return attribute_names_.size(); }
+  int dmax() const { return dmax_; }
+
+  const std::vector<std::string>& attribute_names() const {
+    return attribute_names_;
+  }
+
+  // Index of attribute `name` within this matching relation, or NotFound.
+  Result<std::size_t> IndexOf(std::string_view name) const;
+
+  // Distance level of matching tuple `row` on attribute `attr`.
+  Level level(std::size_t row, std::size_t attr) const {
+    return columns_[attr][row];
+  }
+
+  // Contiguous level column for attribute `attr` (scan-friendly).
+  const std::vector<Level>& column(std::size_t attr) const {
+    return columns_[attr];
+  }
+
+  // The (i, j) data-tuple pair behind matching tuple `row` (i < j).
+  const std::pair<std::uint32_t, std::uint32_t>& pair(std::size_t row) const {
+    return pairs_[row];
+  }
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs() const {
+    return pairs_;
+  }
+
+  // Appends a matching tuple. `levels` has one entry per attribute.
+  void AddTuple(std::uint32_t i, std::uint32_t j,
+                const std::vector<Level>& levels);
+
+  void Reserve(std::size_t rows);
+
+ private:
+  std::vector<std::string> attribute_names_;
+  int dmax_;
+  std::vector<std::vector<Level>> columns_;  // columns_[attr][row]
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
+};
+
+}  // namespace dd
+
+#endif  // DD_MATCHING_MATCHING_RELATION_H_

@@ -1,0 +1,37 @@
+// Binary persistence for the matching relation. Building M is the
+// expensive step of the pipeline (pairwise metric evaluation); saving
+// it lets repeated determinations (different rules, algorithms, or
+// answer sizes) skip the rebuild.
+//
+// Format (little-endian, host-order — not a cross-architecture
+// interchange format):
+//   magic "DDMR" | u32 version | i32 dmax | u32 num_attributes
+//   per attribute: u32 name length | name bytes
+//   u64 num_tuples
+//   pairs: num_tuples x (u32 i, u32 j)
+//   columns: num_attributes x (num_tuples x u8 level)
+
+#ifndef DD_MATCHING_SERIALIZATION_H_
+#define DD_MATCHING_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "matching/matching_relation.h"
+
+namespace dd {
+
+// Serializes to an in-memory buffer / parses one back. Parsing is
+// defensive: truncated or corrupted buffers yield InvalidArgument, not
+// crashes.
+std::string SerializeMatchingRelation(const MatchingRelation& matching);
+Result<MatchingRelation> DeserializeMatchingRelation(std::string_view bytes);
+
+// File convenience wrappers.
+Status WriteMatchingFile(const MatchingRelation& matching,
+                         const std::string& path);
+Result<MatchingRelation> ReadMatchingFile(const std::string& path);
+
+}  // namespace dd
+
+#endif  // DD_MATCHING_SERIALIZATION_H_

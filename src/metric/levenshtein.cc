@@ -1,0 +1,72 @@
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "metric/metric.h"
+
+namespace dd {
+
+double LevenshteinMetric::Distance(std::string_view a,
+                                   std::string_view b) const {
+  if (a == b) return 0.0;
+  if (a.empty()) return static_cast<double>(b.size());
+  if (b.empty()) return static_cast<double>(a.size());
+  // Two-row dynamic program; keep the shorter string as the row to bound
+  // memory by min(|a|, |b|) + 1.
+  if (a.size() < b.size()) std::swap(a, b);
+  std::vector<std::uint32_t> prev(b.size() + 1);
+  std::vector<std::uint32_t> cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<std::uint32_t>(j);
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<std::uint32_t>(i);
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::uint32_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return static_cast<double>(prev[b.size()]);
+}
+
+double LevenshteinMetric::BoundedDistance(std::string_view a,
+                                          std::string_view b,
+                                          double cap) const {
+  if (cap < 0.0) cap = 0.0;
+  const auto capped = static_cast<std::size_t>(cap);
+  if (a == b) return 0.0;
+  if (a.size() < b.size()) std::swap(a, b);
+  // Length difference is a lower bound on the edit distance.
+  if (a.size() - b.size() > capped) return cap + 1.0;
+  if (b.empty()) return static_cast<double>(a.size());
+
+  // Banded DP: only cells with |i - j| <= capped can be <= cap.
+  constexpr std::uint32_t kBig = std::numeric_limits<std::uint32_t>::max() / 2;
+  std::vector<std::uint32_t> prev(b.size() + 1, kBig);
+  std::vector<std::uint32_t> cur(b.size() + 1, kBig);
+  for (std::size_t j = 0; j <= std::min(b.size(), capped); ++j) {
+    prev[j] = static_cast<std::uint32_t>(j);
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const std::size_t lo = (i > capped) ? i - capped : 1;
+    const std::size_t hi = std::min(b.size(), i + capped);
+    if (lo > hi) return cap + 1.0;
+    std::fill(cur.begin(), cur.end(), kBig);
+    if (lo == 1) cur[0] = static_cast<std::uint32_t>(i);
+    std::uint32_t row_min = cur[0];
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const std::uint32_t sub = prev[j - 1] + (a[i - 1] != b[j - 1] ? 1 : 0);
+      std::uint32_t best = sub;
+      if (prev[j] + 1 < best) best = prev[j] + 1;
+      if (cur[j - 1] + 1 < best) best = cur[j - 1] + 1;
+      cur[j] = best;
+      row_min = std::min(row_min, best);
+    }
+    if (row_min > capped) return cap + 1.0;  // Whole band exceeded the cap.
+    std::swap(prev, cur);
+  }
+  const std::uint32_t d = prev[b.size()];
+  return d > capped ? cap + 1.0 : static_cast<double>(d);
+}
+
+}  // namespace dd

@@ -1,0 +1,120 @@
+// Distance metric interface and registry. The paper treats the choice
+// of metric as orthogonal (citing the Bilenko et al. survey); this
+// module provides the common ones — edit distance (optionally with
+// q-grams, as in the paper's preprocessing), token Jaccard, token
+// cosine, and numeric absolute difference — behind one interface, plus a
+// registry so applications can plug in their own.
+
+#ifndef DD_METRIC_METRIC_H_
+#define DD_METRIC_METRIC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dd {
+
+// A distance function on attribute values. Implementations must be
+// symmetric, non-negative, and return 0 for identical inputs.
+class DistanceMetric {
+ public:
+  virtual ~DistanceMetric() = default;
+
+  // Stable metric name, e.g. "levenshtein".
+  virtual std::string_view name() const = 0;
+
+  // Distance between two values.
+  virtual double Distance(std::string_view a, std::string_view b) const = 0;
+
+  // Distance, allowed to return any value > `cap` as soon as the true
+  // distance is known to exceed `cap` (enables banded early exit).
+  // Default falls back to the exact distance.
+  virtual double BoundedDistance(std::string_view a, std::string_view b,
+                                 double cap) const {
+    (void)cap;
+    return Distance(a, b);
+  }
+
+  // True when distances always lie in [0, 1].
+  virtual bool is_normalized() const { return false; }
+};
+
+// Levenshtein (unit-cost insert/delete/substitute) edit distance.
+// BoundedDistance uses a diagonal band of width 2*cap+1 and returns
+// cap + 1 as soon as the distance provably exceeds cap.
+class LevenshteinMetric : public DistanceMetric {
+ public:
+  std::string_view name() const override { return "levenshtein"; }
+  double Distance(std::string_view a, std::string_view b) const override;
+  double BoundedDistance(std::string_view a, std::string_view b,
+                         double cap) const override;
+};
+
+// Positional q-gram distance: multiset symmetric difference of the
+// q-gram profiles (strings padded with q-1 sentinel characters), a
+// standard DBMS-friendly approximation of edit distance [Gravano et al.].
+class QGramMetric : public DistanceMetric {
+ public:
+  explicit QGramMetric(std::size_t q = 2);
+  std::string_view name() const override { return "qgram"; }
+  double Distance(std::string_view a, std::string_view b) const override;
+  std::size_t q() const { return q_; }
+
+ private:
+  std::size_t q_;
+};
+
+// Jaccard distance on whitespace token sets, in [0, 1].
+class JaccardMetric : public DistanceMetric {
+ public:
+  std::string_view name() const override { return "jaccard"; }
+  double Distance(std::string_view a, std::string_view b) const override;
+  bool is_normalized() const override { return true; }
+};
+
+// Cosine distance on whitespace token term-frequency vectors, in [0, 1].
+class CosineMetric : public DistanceMetric {
+ public:
+  std::string_view name() const override { return "cosine"; }
+  double Distance(std::string_view a, std::string_view b) const override;
+  bool is_normalized() const override { return true; }
+};
+
+// Absolute difference of the parsed numeric values. Values that do not
+// parse are treated as infinitely far apart (unless equal as strings).
+class NumericAbsMetric : public DistanceMetric {
+ public:
+  std::string_view name() const override { return "numeric_abs"; }
+  double Distance(std::string_view a, std::string_view b) const override;
+};
+
+// Name -> factory registry. The default registry contains all built-in
+// metrics ("levenshtein", "qgram2", "qgram3", "jaccard", "cosine",
+// "numeric_abs").
+class MetricRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<DistanceMetric>()>;
+
+  // Process-wide registry pre-populated with the built-ins.
+  static MetricRegistry& Default();
+
+  // Registers a factory; fails with AlreadyExists on duplicates.
+  Status Register(std::string name, Factory factory);
+
+  // Instantiates the metric called `name`, or NotFound.
+  Result<std::unique_ptr<DistanceMetric>> Create(std::string_view name) const;
+
+  // Names of all registered metrics, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+}  // namespace dd
+
+#endif  // DD_METRIC_METRIC_H_

@@ -1,0 +1,49 @@
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "metric/metric.h"
+
+namespace dd {
+
+QGramMetric::QGramMetric(std::size_t q) : q_(q) { DD_CHECK_GE(q, 1u); }
+
+namespace {
+
+// Counts the q-grams of `s` padded with q-1 leading '#' and trailing '$'
+// sentinels (the standard construction from Gravano et al.).
+void CountQGrams(std::string_view s, std::size_t q,
+                 std::unordered_map<std::string, int>* counts) {
+  std::string padded;
+  padded.reserve(s.size() + 2 * (q - 1));
+  padded.append(q - 1, '#');
+  padded.append(s);
+  padded.append(q - 1, '$');
+  if (padded.size() < q) return;
+  for (std::size_t i = 0; i + q <= padded.size(); ++i) {
+    ++(*counts)[padded.substr(i, q)];
+  }
+}
+
+}  // namespace
+
+double QGramMetric::Distance(std::string_view a, std::string_view b) const {
+  if (a == b) return 0.0;
+  std::unordered_map<std::string, int> ca;
+  std::unordered_map<std::string, int> cb;
+  CountQGrams(a, q_, &ca);
+  CountQGrams(b, q_, &cb);
+  // Multiset symmetric difference: |A| + |B| - 2 |A ∩ B|.
+  long total = 0;
+  for (const auto& [gram, n] : ca) total += n;
+  for (const auto& [gram, n] : cb) total += n;
+  long shared = 0;
+  for (const auto& [gram, n] : ca) {
+    auto it = cb.find(gram);
+    if (it != cb.end()) shared += std::min(n, it->second);
+  }
+  return static_cast<double>(total - 2 * shared);
+}
+
+}  // namespace dd

@@ -1,0 +1,65 @@
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "metric/metric.h"
+
+namespace dd {
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked singleton: avoids static-destruction ordering hazards.
+  static MetricRegistry& registry = *new MetricRegistry();
+  static bool initialized = [] {
+    Status s;
+    s = registry.Register("levenshtein",
+                          [] { return std::make_unique<LevenshteinMetric>(); });
+    DD_CHECK(s.ok());
+    s = registry.Register("qgram2",
+                          [] { return std::make_unique<QGramMetric>(2); });
+    DD_CHECK(s.ok());
+    s = registry.Register("qgram3",
+                          [] { return std::make_unique<QGramMetric>(3); });
+    DD_CHECK(s.ok());
+    s = registry.Register("jaccard",
+                          [] { return std::make_unique<JaccardMetric>(); });
+    DD_CHECK(s.ok());
+    s = registry.Register("cosine",
+                          [] { return std::make_unique<CosineMetric>(); });
+    DD_CHECK(s.ok());
+    s = registry.Register("numeric_abs",
+                          [] { return std::make_unique<NumericAbsMetric>(); });
+    DD_CHECK(s.ok());
+    return true;
+  }();
+  (void)initialized;
+  return registry;
+}
+
+Status MetricRegistry::Register(std::string name, Factory factory) {
+  for (const auto& [existing, unused] : factories_) {
+    if (existing == name) {
+      return Status::AlreadyExists("metric already registered: " + name);
+    }
+  }
+  factories_.emplace_back(std::move(name), std::move(factory));
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<DistanceMetric>> MetricRegistry::Create(
+    std::string_view name) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory();
+  }
+  return Status::NotFound("no such metric: " + std::string(name));
+}
+
+std::vector<std::string> MetricRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace dd

@@ -1,0 +1,93 @@
+#include "reason/implication.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "detect/violation_detector.h"
+
+namespace dd {
+
+namespace {
+
+// Threshold of attribute `name` on the (rule side, pattern side) pair,
+// or nullopt when the attribute is absent from that side.
+std::optional<int> ThresholdOf(const std::vector<std::string>& attrs,
+                               const Levels& levels, const std::string& name) {
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i] == name) return levels[i];
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool IsTrivial(const DdStatement& b, int dmax) {
+  for (int v : b.pattern.rhs) {
+    if (v < dmax) return false;
+  }
+  return true;
+}
+
+bool Implies(const DdStatement& a, const DdStatement& b, int dmax) {
+  if (IsTrivial(b, dmax)) return true;
+
+  // Premise: every X attribute of a must be constrained at least as
+  // tightly by b (attributes b does not constrain are implicitly dmax,
+  // which can never be tighter than a finite ϕ_a[A] < dmax).
+  for (std::size_t i = 0; i < a.rule.lhs.size(); ++i) {
+    const int a_threshold = a.pattern.lhs[i];
+    if (a_threshold >= dmax) continue;  // Unlimited in a: no requirement.
+    std::optional<int> b_threshold =
+        ThresholdOf(b.rule.lhs, b.pattern.lhs, a.rule.lhs[i]);
+    if (!b_threshold.has_value() || *b_threshold > a_threshold) return false;
+  }
+
+  // Conclusion: every Y attribute of b must be concluded at least as
+  // tightly by a (an attribute missing from a's Y side is unconstrained
+  // by a, so b demanding anything below dmax on it is not implied).
+  for (std::size_t i = 0; i < b.rule.rhs.size(); ++i) {
+    const int b_threshold = b.pattern.rhs[i];
+    if (b_threshold >= dmax) continue;  // Trivial conclusion component.
+    std::optional<int> a_threshold =
+        ThresholdOf(a.rule.rhs, a.pattern.rhs, b.rule.rhs[i]);
+    if (!a_threshold.has_value() || *a_threshold > b_threshold) return false;
+  }
+  return true;
+}
+
+std::vector<DdStatement> MinimalCover(std::vector<DdStatement> statements,
+                                      int dmax) {
+  std::vector<DdStatement> cover;
+  for (std::size_t i = 0; i < statements.size(); ++i) {
+    if (IsTrivial(statements[i], dmax)) continue;
+    bool implied = false;
+    for (std::size_t j = 0; j < statements.size() && !implied; ++j) {
+      if (i == j) continue;
+      if (!Implies(statements[j], statements[i], dmax)) continue;
+      // Mutual implication (equivalent statements): keep the earliest.
+      if (Implies(statements[i], statements[j], dmax) && i < j) continue;
+      implied = true;
+    }
+    if (!implied) cover.push_back(statements[i]);
+  }
+  return cover;
+}
+
+Result<std::size_t> CountViolations(const Relation& relation,
+                                    const DdStatement& statement,
+                                    const MatchingOptions& matching_options) {
+  DD_RETURN_IF_ERROR(ValidateStatement(statement, matching_options.dmax));
+  DD_ASSIGN_OR_RETURN(PairList found,
+                      DetectViolations(relation, statement.rule,
+                                       statement.pattern, matching_options));
+  return found.size();
+}
+
+Result<bool> Satisfies(const Relation& relation, const DdStatement& statement,
+                       const MatchingOptions& matching_options) {
+  DD_ASSIGN_OR_RETURN(std::size_t violations,
+                      CountViolations(relation, statement, matching_options));
+  return violations == 0;
+}
+
+}  // namespace dd

@@ -1,0 +1,56 @@
+// Sound (sufficient) implication checking, triviality, and minimal
+// covers for sets of differential dependencies. The subsumption order
+// follows Song & Chen (TODS 2011): a DD a implies a DD b when b's
+// premise is at least as restrictive and b's conclusion at least as
+// permissive on corresponding attributes:
+//
+//   X_a ⊆ X_b  with  ϕ_b[A] <= ϕ_a[A]  for every A ∈ X_a, and
+//   Y_b ⊆ Y_a  with  ϕ_b[A] >= ϕ_a[A]  for every A ∈ Y_b.
+//
+// (Attributes absent from a side carry the implicit unlimited threshold
+// dmax, which is why shrinking X_a into X_b and shrinking Y_b into Y_a
+// are the permissive directions.) Statements whose conclusion is
+// unlimited on every attribute are trivially satisfied by any relation.
+
+#ifndef DD_REASON_IMPLICATION_H_
+#define DD_REASON_IMPLICATION_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "matching/builder.h"
+#include "reason/statement.h"
+
+namespace dd {
+
+// True when `b` is trivially satisfied by every relation instance:
+// every conclusion threshold equals dmax (any pair satisfies it).
+bool IsTrivial(const DdStatement& b, int dmax);
+
+// Sound implication test: true means every relation satisfying `a`
+// also satisfies `b` (false means "not provable by subsumption", not
+// necessarily "not implied"). `dmax` supplies the implicit threshold of
+// attributes missing from a side.
+bool Implies(const DdStatement& a, const DdStatement& b, int dmax);
+
+// Removes from `statements` every DD implied by another statement of
+// the set (and every trivial DD), returning a minimal cover under the
+// subsumption order. Deterministic: earlier statements win ties.
+std::vector<DdStatement> MinimalCover(std::vector<DdStatement> statements,
+                                      int dmax);
+
+// Counts the violating tuple pairs of `statement` in `relation`
+// (0 means the DD is satisfied). Builds the pairwise matching relation
+// over the statement's attributes with `matching_options`.
+Result<std::size_t> CountViolations(const Relation& relation,
+                                    const DdStatement& statement,
+                                    const MatchingOptions& matching_options);
+
+// Convenience: true when `statement` holds on `relation` exactly.
+Result<bool> Satisfies(const Relation& relation, const DdStatement& statement,
+                       const MatchingOptions& matching_options);
+
+}  // namespace dd
+
+#endif  // DD_REASON_IMPLICATION_H_

@@ -1,0 +1,55 @@
+#include "reason/statement.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace dd {
+
+std::string DdStatement::ToString() const {
+  std::string out = "([";
+  out += Join(rule.lhs, ", ");
+  out += "] -> [";
+  out += Join(rule.rhs, ", ");
+  out += "], <";
+  for (std::size_t i = 0; i < pattern.lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += StrFormat("%d", pattern.lhs[i]);
+  }
+  for (std::size_t i = 0; i < pattern.rhs.size(); ++i) {
+    out += ", ";
+    out += StrFormat("%d", pattern.rhs[i]);
+  }
+  out += ">)";
+  return out;
+}
+
+Status ValidateStatement(const DdStatement& statement, int dmax) {
+  if (statement.rule.lhs.empty() || statement.rule.rhs.empty()) {
+    return Status::InvalidArgument("statement must have non-empty X and Y");
+  }
+  if (statement.rule.lhs.size() != statement.pattern.lhs.size() ||
+      statement.rule.rhs.size() != statement.pattern.rhs.size()) {
+    return Status::InvalidArgument(
+        "pattern arity does not match rule attribute counts");
+  }
+  for (const auto& name : statement.rule.lhs) {
+    if (std::find(statement.rule.rhs.begin(), statement.rule.rhs.end(),
+                  name) != statement.rule.rhs.end()) {
+      return Status::InvalidArgument("attribute on both sides: " + name);
+    }
+  }
+  auto check_levels = [dmax](const Levels& levels) {
+    for (int v : levels) {
+      if (v < 0 || v > dmax) return false;
+    }
+    return true;
+  };
+  if (!check_levels(statement.pattern.lhs) ||
+      !check_levels(statement.pattern.rhs)) {
+    return Status::OutOfRange("threshold outside [0, dmax]");
+  }
+  return Status::Ok();
+}
+
+}  // namespace dd

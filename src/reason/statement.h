@@ -1,0 +1,36 @@
+// A differential dependency as a standalone statement: a rule X -> Y
+// over attribute names plus a threshold pattern ϕ. Statements are what
+// the reasoning layer (implication, triviality, minimal cover — the
+// foundations laid out in Song & Chen, TODS 2011, which this paper
+// builds on) operates over, independent of any matching relation.
+
+#ifndef DD_REASON_STATEMENT_H_
+#define DD_REASON_STATEMENT_H_
+
+#include <string>
+
+#include "core/pattern.h"
+#include "core/rule.h"
+
+namespace dd {
+
+struct DdStatement {
+  RuleSpec rule;
+  Pattern pattern;
+
+  // "([Address] -> [Region], <8, 3>)" — the paper's notation.
+  std::string ToString() const;
+
+  friend bool operator==(const DdStatement& a, const DdStatement& b) {
+    return a.rule.lhs == b.rule.lhs && a.rule.rhs == b.rule.rhs &&
+           a.pattern == b.pattern;
+  }
+};
+
+// Validates arity: one threshold per attribute on each side, attributes
+// non-empty and disjoint across sides, thresholds within [0, dmax].
+Status ValidateStatement(const DdStatement& statement, int dmax);
+
+}  // namespace dd
+
+#endif  // DD_REASON_STATEMENT_H_

@@ -1,0 +1,108 @@
+#include "data/corruptor.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+GeneratedData SmallRestaurant() {
+  RestaurantOptions opts;
+  opts.num_entities = 50;
+  return GenerateRestaurant(opts);
+}
+
+TEST(CorruptorTest, CorruptsRequestedFraction) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.1;
+  auto result = InjectViolations(data, {"city"}, opts);
+  ASSERT_TRUE(result.ok());
+  const std::size_t expected = static_cast<std::size_t>(
+      0.1 * static_cast<double>(data.relation.num_rows()) + 0.5);
+  EXPECT_NEAR(static_cast<double>(result->corrupted_rows.size()),
+              static_cast<double>(expected), 2.0);
+}
+
+TEST(CorruptorTest, OnlyDependentAttributesChange) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.2;
+  auto result = InjectViolations(data, {"city"}, opts);
+  ASSERT_TRUE(result.ok());
+  std::set<std::size_t> corrupted(result->corrupted_rows.begin(),
+                                  result->corrupted_rows.end());
+  for (std::size_t r = 0; r < data.relation.num_rows(); ++r) {
+    for (std::size_t c = 0; c < data.relation.num_attributes(); ++c) {
+      if (c == 2 && corrupted.count(r) > 0) continue;  // city may change
+      EXPECT_EQ(result->dirty.at(r, c), data.relation.at(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CorruptorTest, TruthPairsLinkCorruptedToCleanSameEntity) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.1;
+  auto result = InjectViolations(data, {"city"}, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->truth_pairs.empty());
+  std::set<std::size_t> corrupted(result->corrupted_rows.begin(),
+                                  result->corrupted_rows.end());
+  for (const auto& [i, j] : result->truth_pairs) {
+    EXPECT_LT(i, j);
+    EXPECT_EQ(data.entity_ids[i], data.entity_ids[j]);
+    // Exactly one endpoint is corrupted.
+    EXPECT_EQ((corrupted.count(i) > 0) + (corrupted.count(j) > 0), 1);
+  }
+}
+
+TEST(CorruptorTest, TruthPairsAreUniqueAndSorted) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.3;
+  auto result = InjectViolations(data, {"city", "type"}, opts);
+  ASSERT_TRUE(result.ok());
+  for (std::size_t k = 1; k < result->truth_pairs.size(); ++k) {
+    EXPECT_LT(result->truth_pairs[k - 1], result->truth_pairs[k]);
+  }
+}
+
+TEST(CorruptorTest, ZeroFractionIsNoOp) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.0;
+  auto result = InjectViolations(data, {"city"}, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->corrupted_rows.empty());
+  EXPECT_TRUE(result->truth_pairs.empty());
+}
+
+TEST(CorruptorTest, RejectsBadInputs) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 1.5;
+  EXPECT_FALSE(InjectViolations(data, {"city"}, opts).ok());
+  opts.corrupt_fraction = 0.1;
+  EXPECT_FALSE(InjectViolations(data, {"no_such_attr"}, opts).ok());
+  GeneratedData mismatched = SmallRestaurant();
+  mismatched.entity_ids.pop_back();
+  EXPECT_FALSE(InjectViolations(mismatched, {"city"}, opts).ok());
+}
+
+TEST(CorruptorTest, DeterministicGivenSeed) {
+  GeneratedData data = SmallRestaurant();
+  CorruptorOptions opts;
+  opts.corrupt_fraction = 0.15;
+  auto a = InjectViolations(data, {"city"}, opts);
+  auto b = InjectViolations(data, {"city"}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->corrupted_rows, b->corrupted_rows);
+  EXPECT_EQ(a->truth_pairs, b->truth_pairs);
+}
+
+}  // namespace
+}  // namespace dd

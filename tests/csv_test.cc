@@ -1,0 +1,101 @@
+#include "data/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+TEST(CsvTest, ParseSimpleWithHeader) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->schema().attribute(0).name, "a");
+  EXPECT_EQ(r->at(1, 1), "4");
+}
+
+TEST(CsvTest, ParseWithoutHeaderNamesColumns) {
+  CsvOptions opts;
+  opts.has_header = false;
+  auto r = ParseCsv("1,2\n3,4\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 2u);
+  EXPECT_EQ(r->schema().attribute(0).name, "c0");
+  EXPECT_EQ(r->schema().attribute(1).name, "c1");
+}
+
+TEST(CsvTest, QuotedFieldsWithSeparatorsAndNewlines) {
+  auto r = ParseCsv("a,b\n\"x,y\",\"line1\nline2\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0), "x,y");
+  EXPECT_EQ(r->at(0, 1), "line1\nline2");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto r = ParseCsv("a\n\"she said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 0), "she said \"hi\"");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 1), "2");
+}
+
+TEST(CsvTest, MissingTrailingNewline) {
+  auto r = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 1u);
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, ArityMismatchFails) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, EmptyInputFails) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, RoundTripPreservesValues) {
+  auto r = ParseCsv("name,notes\nalice,\"likes, commas\"\nbob,\"\"\"q\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  std::string text = ToCsv(*r);
+  auto r2 = ParseCsv(text);
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->num_rows(), r->num_rows());
+  for (std::size_t i = 0; i < r->num_rows(); ++i) {
+    EXPECT_EQ(r2->row(i), r->row(i));
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  auto r = ParseCsv("a,b\n1,2\n");
+  ASSERT_TRUE(r.ok());
+  const std::string path = ::testing::TempDir() + "/dd_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(*r, path).ok());
+  auto back = ReadCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->at(0, 0), "1");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/definitely/missing.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvOptions opts;
+  opts.separator = '\t';
+  auto r = ParseCsv("a\tb\n1\t2\n", opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->at(0, 1), "2");
+  EXPECT_EQ(ToCsv(*r, opts), "a\tb\n1\t2\n");
+}
+
+}  // namespace
+}  // namespace dd

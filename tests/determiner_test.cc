@@ -1,0 +1,145 @@
+#include "core/determiner.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+TEST(DeterminerTest, HotelRunningExample) {
+  MatchingRelation m = testutil::HotelMatching(10);
+  RuleSpec rule{{"Address"}, {"Region"}};
+  DetermineOptions opts;
+  opts.top_l = 3;
+  auto result = DetermineThresholds(m, rule, opts);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->patterns.empty());
+  const auto& best = result->patterns.front();
+  // The determined pattern must be sensible: positive support,
+  // confidence and quality, utility in (0, 1].
+  EXPECT_GT(best.measures.support, 0.0);
+  EXPECT_GT(best.measures.confidence, 0.0);
+  EXPECT_GT(best.measures.quality, 0.0);
+  EXPECT_GT(best.utility, 0.0);
+  EXPECT_LE(best.utility, 1.0);
+  // Descending utility ordering.
+  for (std::size_t i = 1; i < result->patterns.size(); ++i) {
+    EXPECT_GE(result->patterns[i - 1].utility, result->patterns[i].utility);
+  }
+  EXPECT_GT(result->elapsed_seconds, 0.0);
+  EXPECT_GE(result->prior_mean_cq, 0.0);
+  EXPECT_LE(result->prior_mean_cq, 1.0);
+}
+
+TEST(DeterminerTest, AllAlgorithmCombinationsAgree) {
+  MatchingRelation m = testutil::RandomMatching(3, 6, 400, 999);
+  RuleSpec rule{{"a0", "a1"}, {"a2"}};
+  double reference = -1.0;
+  for (LhsAlgorithm lhs : {LhsAlgorithm::kDa, LhsAlgorithm::kDap}) {
+    for (RhsAlgorithm rhs : {RhsAlgorithm::kPa, RhsAlgorithm::kPap}) {
+      DetermineOptions opts;
+      opts.lhs_algorithm = lhs;
+      opts.rhs_algorithm = rhs;
+      auto result = DetermineThresholds(m, rule, opts);
+      ASSERT_TRUE(result.ok());
+      ASSERT_FALSE(result->patterns.empty());
+      if (reference < 0.0) {
+        reference = result->patterns[0].utility;
+      } else {
+        EXPECT_NEAR(result->patterns[0].utility, reference, 1e-9)
+            << LhsAlgorithmName(lhs) << "+" << RhsAlgorithmName(rhs);
+      }
+    }
+  }
+}
+
+TEST(DeterminerTest, GridProviderMatchesScanProvider) {
+  MatchingRelation m = testutil::RandomMatching(2, 8, 300, 321);
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions scan_opts;
+  scan_opts.provider = "scan";
+  DetermineOptions grid_opts;
+  grid_opts.provider = "grid";
+  auto scan = DetermineThresholds(m, rule, scan_opts);
+  auto grid = DetermineThresholds(m, rule, grid_opts);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_TRUE(grid.ok());
+  ASSERT_FALSE(scan->patterns.empty());
+  ASSERT_FALSE(grid->patterns.empty());
+  EXPECT_NEAR(scan->patterns[0].utility, grid->patterns[0].utility, 1e-9);
+  EXPECT_EQ(scan->patterns[0].measures.xy_count,
+            grid->patterns[0].measures.xy_count);
+}
+
+TEST(DeterminerTest, RejectsInvalidInputs) {
+  MatchingRelation m = testutil::RandomMatching(2, 5, 50, 3);
+  DetermineOptions opts;
+  // Unknown attribute.
+  EXPECT_FALSE(DetermineThresholds(m, {{"nope"}, {"a1"}}, opts).ok());
+  // Empty side.
+  EXPECT_FALSE(DetermineThresholds(m, {{}, {"a1"}}, opts).ok());
+  // Attribute on both sides.
+  EXPECT_FALSE(DetermineThresholds(m, {{"a0"}, {"a0"}}, opts).ok());
+  // Bad provider.
+  opts.provider = "bogus";
+  EXPECT_FALSE(DetermineThresholds(m, {{"a0"}, {"a1"}}, opts).ok());
+  // top_l = 0.
+  DetermineOptions zero;
+  zero.top_l = 0;
+  EXPECT_FALSE(DetermineThresholds(m, {{"a0"}, {"a1"}}, zero).ok());
+}
+
+TEST(DeterminerTest, TopLReturnsRequestedCount) {
+  MatchingRelation m = testutil::RandomMatching(2, 6, 300, 42);
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions opts;
+  opts.top_l = 5;
+  auto result = DetermineThresholds(m, rule, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->patterns.size(), 5u);
+  EXPECT_GE(result->patterns.size(), 1u);
+}
+
+TEST(DeterminerTest, ManualPriorRespected) {
+  MatchingRelation m = testutil::RandomMatching(2, 6, 200, 7);
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions opts;
+  opts.prior_sample_size = 0;  // Keep the manual prior.
+  opts.utility.prior_mean_cq = 0.123;
+  auto result = DetermineThresholds(m, rule, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->prior_mean_cq, 0.123);
+}
+
+TEST(DeterminerTest, StatsReflectConfiguration) {
+  MatchingRelation m = testutil::RandomMatching(2, 6, 200, 8);
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions pa_opts;
+  pa_opts.lhs_algorithm = LhsAlgorithm::kDa;
+  pa_opts.rhs_algorithm = RhsAlgorithm::kPa;
+  auto pa = DetermineThresholds(m, rule, pa_opts);
+  ASSERT_TRUE(pa.ok());
+  // PA evaluates the complete lattice for every LHS: 7 * 7 = 49.
+  EXPECT_EQ(pa->stats.rhs.lattice_size, 49u);
+  EXPECT_EQ(pa->stats.rhs.evaluated, 49u);
+  EXPECT_DOUBLE_EQ(pa->stats.PruningRate(), 0.0);
+
+  DetermineOptions pap_opts;
+  pap_opts.lhs_algorithm = LhsAlgorithm::kDap;
+  pap_opts.rhs_algorithm = RhsAlgorithm::kPap;
+  auto pap = DetermineThresholds(m, rule, pap_opts);
+  ASSERT_TRUE(pap.ok());
+  EXPECT_LT(pap->stats.rhs.evaluated, pa->stats.rhs.evaluated);
+  EXPECT_GT(pap->stats.PruningRate(), 0.0);
+}
+
+TEST(DeterminerTest, AlgorithmNames) {
+  EXPECT_STREQ(LhsAlgorithmName(LhsAlgorithm::kDa), "DA");
+  EXPECT_STREQ(LhsAlgorithmName(LhsAlgorithm::kDap), "DAP");
+  EXPECT_STREQ(RhsAlgorithmName(RhsAlgorithm::kPa), "PA");
+  EXPECT_STREQ(RhsAlgorithmName(RhsAlgorithm::kPap), "PAP");
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,104 @@
+#include "discover/rule_explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+
+namespace dd {
+namespace {
+
+TEST(DiscoverTest, FindsAddressCityRuleOnRestaurant) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 80;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  options.matching.dmax = 10;
+  options.matching.max_pairs = 10000;
+  options.max_lhs_size = 1;
+  options.top_rules = 0;  // Keep all.
+  auto rules = DiscoverRules(data.relation, options);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_FALSE(rules->empty());
+  // The top-ranked rule should predict city (the only dependent
+  // attribute in the generator) — from address or name.
+  EXPECT_EQ(rules->front().rule.rhs, (std::vector<std::string>{"city"}));
+  // Descending utility ordering.
+  for (std::size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].best.utility, (*rules)[i].best.utility);
+  }
+}
+
+TEST(DiscoverTest, RespectsMaxLhsSize) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 30;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  options.matching.max_pairs = 2000;
+  options.max_lhs_size = 2;
+  options.top_rules = 0;
+  auto rules = DiscoverRules(data.relation, options);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& r : *rules) {
+    EXPECT_LE(r.rule.lhs.size(), 2u);
+    EXPECT_EQ(r.rule.rhs.size(), 1u);
+  }
+  // 4 attributes, single target each: 3 singletons + 3 pairs = 6 LHS
+  // choices per target, 24 candidate rules total (some may be filtered
+  // by min_utility).
+  EXPECT_LE(rules->size(), 24u);
+}
+
+TEST(DiscoverTest, TopRulesTruncates) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 30;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  options.matching.max_pairs = 2000;
+  options.top_rules = 3;
+  auto rules = DiscoverRules(data.relation, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_LE(rules->size(), 3u);
+}
+
+TEST(DiscoverTest, AttributeSubsetRestriction) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 30;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  options.matching.max_pairs = 2000;
+  options.top_rules = 0;
+  auto rules = DiscoverRules(data.relation, options, {"address", "city"});
+  ASSERT_TRUE(rules.ok());
+  for (const auto& r : *rules) {
+    for (const auto& a : r.rule.lhs) {
+      EXPECT_TRUE(a == "address" || a == "city");
+    }
+  }
+}
+
+TEST(DiscoverTest, RejectsBadInput) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 10;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  // Single attribute.
+  EXPECT_FALSE(DiscoverRules(data.relation, options, {"city"}).ok());
+  // Unknown attribute surfaces from the matching build.
+  EXPECT_FALSE(DiscoverRules(data.relation, options, {"city", "nope"}).ok());
+}
+
+TEST(DiscoverTest, MinUtilityFilters) {
+  RestaurantOptions gopts;
+  gopts.num_entities = 30;
+  GeneratedData data = GenerateRestaurant(gopts);
+  ExploreOptions options;
+  options.matching.max_pairs = 2000;
+  options.top_rules = 0;
+  options.min_utility = 0.999;  // Nothing is this good.
+  auto rules = DiscoverRules(data.relation, options);
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+}  // namespace
+}  // namespace dd

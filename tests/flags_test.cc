@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+ArgParser Parse(std::vector<const char*> argv, int begin = 1) {
+  argv.insert(argv.begin(), "tool");
+  return ArgParser(static_cast<int>(argv.size()), argv.data(), begin);
+}
+
+TEST(ArgParserTest, SpaceAndEqualsSyntax) {
+  ArgParser args = Parse({"--name", "value", "--k=v"});
+  EXPECT_TRUE(args.Has("name"));
+  EXPECT_EQ(args.GetString("name"), "value");
+  EXPECT_EQ(args.GetString("k"), "v");
+  EXPECT_FALSE(args.Has("missing"));
+  EXPECT_EQ(args.GetString("missing", "fallback"), "fallback");
+}
+
+TEST(ArgParserTest, BooleanSwitches) {
+  ArgParser args = Parse({"--verbose", "--out", "x"});
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_EQ(args.GetString("verbose"), "");
+  EXPECT_EQ(args.GetString("out"), "x");
+}
+
+TEST(ArgParserTest, RepeatedFlagsCollected) {
+  ArgParser args = Parse({"--metric", "a=x", "--metric", "b=y"});
+  EXPECT_EQ(args.GetAll("metric"),
+            (std::vector<std::string>{"a=x", "b=y"}));
+  EXPECT_EQ(args.GetString("metric"), "b=y");  // Last one wins.
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  ArgParser args = Parse({"pos1", "--flag", "v", "pos2"});
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(ArgParserTest, DoubleDashEndsFlags) {
+  ArgParser args = Parse({"--a", "1", "--", "--not-a-flag"});
+  EXPECT_EQ(args.GetString("a"), "1");
+  EXPECT_EQ(args.positional(),
+            (std::vector<std::string>{"--not-a-flag"}));
+}
+
+TEST(ArgParserTest, TypedAccessors) {
+  ArgParser args = Parse({"--n", "42", "--x", "2.5", "--bad", "abc"});
+  auto n = args.GetInt("n", 0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 42);
+  auto x = args.GetDouble("x", 0.0);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(*x, 2.5);
+  EXPECT_FALSE(args.GetInt("bad", 0).ok());
+  EXPECT_FALSE(args.GetDouble("bad", 0.0).ok());
+  auto absent = args.GetInt("absent", 7);
+  ASSERT_TRUE(absent.ok());
+  EXPECT_EQ(*absent, 7);
+}
+
+TEST(ArgParserTest, UnknownFlagDetection) {
+  ArgParser args = Parse({"--good", "1", "--typo", "2"});
+  auto unknown = args.UnknownFlags({"good", "other"});
+  EXPECT_EQ(unknown, (std::vector<std::string>{"typo"}));
+}
+
+TEST(ArgParserTest, BeginOffsetSkipsSubcommand) {
+  std::vector<const char*> argv = {"tool", "subcmd", "--x", "1"};
+  ArgParser args(static_cast<int>(argv.size()), argv.data(), 2);
+  EXPECT_EQ(args.GetString("x"), "1");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(SplitFlagListTest, TrimsAndDropsEmpties) {
+  EXPECT_EQ(SplitFlagList("a, b ,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitFlagList(""), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitFlagList("a,,b"), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace dd

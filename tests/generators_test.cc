@@ -1,0 +1,188 @@
+#include "data/generators.h"
+
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "metric/metric.h"
+
+namespace dd {
+namespace {
+
+TEST(HotelExampleTest, MatchesPaperTableI) {
+  GeneratedData hotel = HotelExample();
+  ASSERT_EQ(hotel.relation.num_rows(), 6u);
+  EXPECT_EQ(hotel.relation.schema().ToString(),
+            "Name:string, Address:string, Region:string");
+  EXPECT_EQ(hotel.relation.at(0, 0), "West Wood Hotel");
+  EXPECT_EQ(hotel.relation.at(5, 2), "Chicago, MA");
+  EXPECT_EQ(hotel.entity_ids, (std::vector<std::size_t>{0, 0, 0, 1, 1, 1}));
+  // t5 and t6 agree exactly on Address — the FD violation of the intro.
+  EXPECT_EQ(hotel.relation.at(4, 1), hotel.relation.at(5, 1));
+}
+
+template <typename Options, typename Generator>
+void CheckBasicShape(Generator generate, Options options,
+                     std::size_t num_attrs) {
+  options.num_entities = 20;
+  GeneratedData data = generate(options);
+  EXPECT_EQ(data.relation.num_attributes(), num_attrs);
+  EXPECT_EQ(data.entity_ids.size(), data.relation.num_rows());
+  // Every entity produced between min and max duplicates.
+  std::unordered_map<std::size_t, std::size_t> sizes;
+  for (std::size_t e : data.entity_ids) ++sizes[e];
+  EXPECT_EQ(sizes.size(), options.num_entities);
+  for (const auto& [entity, count] : sizes) {
+    EXPECT_GE(count, options.min_duplicates);
+    EXPECT_LE(count, options.max_duplicates);
+  }
+}
+
+TEST(CoraGeneratorTest, BasicShape) {
+  CheckBasicShape(GenerateCora, CoraOptions{}, 7u);
+}
+
+TEST(RestaurantGeneratorTest, BasicShape) {
+  CheckBasicShape(GenerateRestaurant, RestaurantOptions{}, 4u);
+}
+
+TEST(CiteseerGeneratorTest, BasicShape) {
+  CheckBasicShape(GenerateCiteseer, CiteseerOptions{}, 4u);
+}
+
+TEST(CoraGeneratorTest, DeterministicGivenSeed) {
+  CoraOptions opts;
+  opts.num_entities = 10;
+  GeneratedData a = GenerateCora(opts);
+  GeneratedData b = GenerateCora(opts);
+  ASSERT_EQ(a.relation.num_rows(), b.relation.num_rows());
+  for (std::size_t r = 0; r < a.relation.num_rows(); ++r) {
+    EXPECT_EQ(a.relation.row(r), b.relation.row(r));
+  }
+}
+
+TEST(CoraGeneratorTest, SeedsChangeOutput) {
+  CoraOptions a_opts;
+  a_opts.num_entities = 10;
+  CoraOptions b_opts = a_opts;
+  b_opts.seed = a_opts.seed + 1;
+  GeneratedData a = GenerateCora(a_opts);
+  GeneratedData b = GenerateCora(b_opts);
+  bool any_diff = a.relation.num_rows() != b.relation.num_rows();
+  for (std::size_t r = 0; !any_diff && r < a.relation.num_rows(); ++r) {
+    any_diff = a.relation.row(r) != b.relation.row(r);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// Within-entity title distances should be much smaller than
+// across-entity ones: the structure the dependency mining relies on.
+TEST(CoraGeneratorTest, WithinEntityTitlesCloserThanAcross) {
+  CoraOptions opts;
+  opts.num_entities = 30;
+  GeneratedData data = GenerateCora(opts);
+  LevenshteinMetric lev;
+  const std::size_t title = 1;
+  double within_sum = 0.0;
+  double across_sum = 0.0;
+  std::size_t within_n = 0;
+  std::size_t across_n = 0;
+  const std::size_t n = data.relation.num_rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n && across_n < 4000; ++j) {
+      double d = lev.Distance(data.relation.at(i, title),
+                              data.relation.at(j, title));
+      if (data.entity_ids[i] == data.entity_ids[j]) {
+        within_sum += d;
+        ++within_n;
+      } else {
+        across_sum += d;
+        ++across_n;
+      }
+    }
+  }
+  ASSERT_GT(within_n, 0u);
+  ASSERT_GT(across_n, 0u);
+  EXPECT_LT(within_sum / within_n, 0.5 * across_sum / across_n);
+}
+
+// Restaurant type must be independent of the entity (the Table IV
+// independence finding): within-entity type agreement should be close
+// to the baseline rate of two random draws agreeing.
+TEST(RestaurantGeneratorTest, TypeIsIndependentOfEntity) {
+  RestaurantOptions opts;
+  opts.num_entities = 200;
+  GeneratedData data = GenerateRestaurant(opts);
+  const std::size_t type = 3;
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  const std::size_t n = data.relation.num_rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (data.entity_ids[i] != data.entity_ids[j]) continue;
+      ++total;
+      if (data.relation.at(i, type) == data.relation.at(j, type)) ++agree;
+    }
+  }
+  ASSERT_GT(total, 100u);
+  // 10 uniform types -> ~10% agreement; far below a dependent attribute.
+  EXPECT_LT(static_cast<double>(agree) / total, 0.3);
+}
+
+// Cora venues functionally determine address/publisher/editor (the
+// clean Rule 2 dependency): records with near-identical venue strings
+// must have similar publisher strings, up to format perturbation.
+TEST(CoraGeneratorTest, VenueDeterminesPublisherUpToNoise) {
+  CoraOptions opts;
+  opts.num_entities = 60;
+  GeneratedData data = GenerateCora(opts);
+  LevenshteinMetric lev;
+  const std::size_t venue = 2;
+  const std::size_t publisher = 5;
+  const std::size_t n = data.relation.num_rows();
+  double max_publisher_gap = 0.0;
+  std::size_t close_venue_pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (lev.BoundedDistance(data.relation.at(i, venue),
+                              data.relation.at(j, venue), 2.0) > 2.0) {
+        continue;
+      }
+      ++close_venue_pairs;
+      max_publisher_gap = std::max(
+          max_publisher_gap, lev.Distance(data.relation.at(i, publisher),
+                                          data.relation.at(j, publisher)));
+    }
+  }
+  ASSERT_GT(close_venue_pairs, 10u);
+  // Same venue (distance <= 2 can only be format noise on these long
+  // strings) implies the same canonical publisher; perturbation (typos,
+  // abbreviation, a dropped token) keeps the pair within a modest edit
+  // radius.
+  EXPECT_LE(max_publisher_gap, 20.0);
+}
+
+// Citeseer subject is entity-determined: same-entity subjects agree up
+// to light format noise (case/typos keep them within small distance).
+TEST(CiteseerGeneratorTest, SubjectDependsOnEntity) {
+  CiteseerOptions opts;
+  opts.num_entities = 50;
+  GeneratedData data = GenerateCiteseer(opts);
+  LevenshteinMetric lev;
+  const std::size_t subject = 3;
+  const std::size_t n = data.relation.num_rows();
+  double max_within = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (data.entity_ids[i] != data.entity_ids[j]) continue;
+      max_within = std::max(max_within,
+                            lev.Distance(data.relation.at(i, subject),
+                                         data.relation.at(j, subject)));
+    }
+  }
+  EXPECT_LT(max_within, 10.0);
+}
+
+}  // namespace
+}  // namespace dd

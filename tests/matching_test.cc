@@ -1,0 +1,159 @@
+#include "matching/builder.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "metric/metric.h"
+
+namespace dd {
+namespace {
+
+TEST(BucketDistanceTest, CapsAndRounds) {
+  EXPECT_EQ(BucketDistance(0.0, 1.0, 10), 0);
+  EXPECT_EQ(BucketDistance(3.4, 1.0, 10), 3);
+  EXPECT_EQ(BucketDistance(3.6, 1.0, 10), 4);
+  EXPECT_EQ(BucketDistance(42.0, 1.0, 10), 10);
+  EXPECT_EQ(BucketDistance(10.0, 1.0, 10), 10);
+  // Normalized metric spread over the domain.
+  EXPECT_EQ(BucketDistance(0.5, 10.0, 10), 5);
+  EXPECT_EQ(BucketDistance(1.0, 10.0, 10), 10);
+  // Infinity (unparseable numerics) caps at dmax.
+  EXPECT_EQ(BucketDistance(std::numeric_limits<double>::infinity(), 1.0, 10),
+            10);
+}
+
+TEST(MatchingBuilderTest, AllPairsCountAndSymmetry) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  opts.dmax = 10;
+  auto m = BuildMatchingRelation(hotel.relation, {"Address", "Region"}, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_tuples(), 15u);  // C(6,2)
+  EXPECT_EQ(m->num_attributes(), 2u);
+  EXPECT_EQ(m->dmax(), 10);
+  // Pairs are distinct, ordered (i < j) and within range.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (std::size_t r = 0; r < m->num_tuples(); ++r) {
+    auto [i, j] = m->pair(r);
+    EXPECT_LT(i, j);
+    EXPECT_LT(j, 6u);
+    EXPECT_TRUE(seen.insert({i, j}).second);
+  }
+}
+
+TEST(MatchingBuilderTest, LevelsMatchDirectMetricComputation) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  opts.dmax = 10;
+  auto m = BuildMatchingRelation(hotel.relation, {"Address", "Region"}, opts);
+  ASSERT_TRUE(m.ok());
+  LevenshteinMetric lev;
+  for (std::size_t r = 0; r < m->num_tuples(); ++r) {
+    auto [i, j] = m->pair(r);
+    for (std::size_t a = 0; a < 2; ++a) {
+      const std::size_t col = a == 0 ? 1 : 2;  // Address, Region
+      double raw = lev.Distance(hotel.relation.at(i, col),
+                                hotel.relation.at(j, col));
+      EXPECT_EQ(m->level(r, a), BucketDistance(raw, 1.0, 10))
+          << "pair (" << i << "," << j << ") attr " << a;
+    }
+  }
+}
+
+TEST(MatchingBuilderTest, PaperRunningExampleStatistics) {
+  // The paper's dd1 on Table I: 6 of 15 pairs satisfy the Address
+  // threshold and 4 of those the Region threshold (D = 0.4, C = 4/6).
+  // The paper computed edit distance with q-grams; under plain
+  // Levenshtein the equivalent Region threshold is 4 instead of 3
+  // ("Chicago" vs "Chicago, IL" is 4 character inserts).
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  opts.dmax = 30;  // Large enough to not clip any distance of Table I.
+  auto m = BuildMatchingRelation(hotel.relation, {"Address", "Region"}, opts);
+  ASSERT_TRUE(m.ok());
+  std::size_t lhs = 0;
+  std::size_t both = 0;
+  for (std::size_t r = 0; r < m->num_tuples(); ++r) {
+    if (m->level(r, 0) <= 8) {
+      ++lhs;
+      if (m->level(r, 1) <= 4) ++both;
+    }
+  }
+  EXPECT_EQ(lhs, 6u);
+  EXPECT_EQ(both, 4u);
+}
+
+TEST(MatchingBuilderTest, SamplingBoundsSizeExactly) {
+  CoraOptions copts;
+  copts.num_entities = 40;
+  GeneratedData cora = GenerateCora(copts);
+  MatchingOptions opts;
+  opts.max_pairs = 500;
+  auto m = BuildMatchingRelation(cora.relation, {"author", "title"}, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->num_tuples(), 500u);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (std::size_t r = 0; r < m->num_tuples(); ++r) {
+    auto [i, j] = m->pair(r);
+    EXPECT_LT(i, j);
+    EXPECT_LT(j, cora.relation.num_rows());
+    EXPECT_TRUE(seen.insert({i, j}).second) << "duplicate sampled pair";
+  }
+}
+
+TEST(MatchingBuilderTest, SamplingIsDeterministic) {
+  CoraOptions copts;
+  copts.num_entities = 30;
+  GeneratedData cora = GenerateCora(copts);
+  MatchingOptions opts;
+  opts.max_pairs = 200;
+  auto a = BuildMatchingRelation(cora.relation, {"author"}, opts);
+  auto b = BuildMatchingRelation(cora.relation, {"author"}, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pairs(), b->pairs());
+}
+
+TEST(MatchingBuilderTest, MetricOverrides) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  opts.dmax = 10;
+  opts.metric_overrides["Region"] = "jaccard";
+  auto m = BuildMatchingRelation(hotel.relation, {"Region"}, opts);
+  ASSERT_TRUE(m.ok());
+  JaccardMetric jac;
+  for (std::size_t r = 0; r < m->num_tuples(); ++r) {
+    auto [i, j] = m->pair(r);
+    double raw = jac.Distance(hotel.relation.at(i, 2), hotel.relation.at(j, 2));
+    EXPECT_EQ(m->level(r, 0), BucketDistance(raw, 10.0, 10));
+  }
+}
+
+TEST(MatchingBuilderTest, RejectsBadInputs) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  EXPECT_FALSE(BuildMatchingRelation(hotel.relation, {}, opts).ok());
+  EXPECT_FALSE(
+      BuildMatchingRelation(hotel.relation, {"NoSuchAttr"}, opts).ok());
+  opts.dmax = 0;
+  EXPECT_FALSE(BuildMatchingRelation(hotel.relation, {"Name"}, opts).ok());
+  opts.dmax = 10;
+  opts.metric_overrides["Name"] = "bogus_metric";
+  EXPECT_FALSE(BuildMatchingRelation(hotel.relation, {"Name"}, opts).ok());
+  opts.metric_overrides.clear();
+  opts.scale_overrides["Name"] = -1.0;
+  EXPECT_FALSE(BuildMatchingRelation(hotel.relation, {"Name"}, opts).ok());
+}
+
+TEST(MatchingRelationTest, IndexOf) {
+  MatchingRelation m({"a", "b"}, 5);
+  auto idx = m.IndexOf("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(m.IndexOf("c").ok());
+}
+
+}  // namespace
+}  // namespace dd

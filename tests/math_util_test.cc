@@ -1,0 +1,118 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+TEST(LogBinomialCoefficientTest, SmallValuesExact) {
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(6, 3)), 20.0, 1e-9);
+}
+
+TEST(LogBinomialPmfTest, MatchesDirectComputation) {
+  // f(2; 4, 0.5) = 6 * 0.0625 = 0.375
+  EXPECT_NEAR(std::exp(LogBinomialPmf(2, 4, 0.5)), 0.375, 1e-12);
+  // f(0; 3, 0.2) = 0.8^3
+  EXPECT_NEAR(std::exp(LogBinomialPmf(0, 3, 0.2)), 0.512, 1e-12);
+}
+
+TEST(LogBinomialPmfTest, DegenerateProbabilities) {
+  EXPECT_DOUBLE_EQ(LogBinomialPmf(0, 5, 0.0), 0.0);  // log 1
+  EXPECT_EQ(LogBinomialPmf(1, 5, 0.0), -INFINITY);
+  EXPECT_DOUBLE_EQ(LogBinomialPmf(5, 5, 1.0), 0.0);
+  EXPECT_EQ(LogBinomialPmf(4, 5, 1.0), -INFINITY);
+}
+
+TEST(LogBinomialPmfTest, OutOfSupportIsImpossible) {
+  EXPECT_EQ(LogBinomialPmf(-1, 5, 0.5), -INFINITY);
+  EXPECT_EQ(LogBinomialPmf(6, 5, 0.5), -INFINITY);
+}
+
+TEST(LogBinomialPmfTest, ContinuousExtensionIsFiniteAndSmooth) {
+  const double a = LogBinomialPmf(2.4, 10, 0.3);
+  const double b = LogBinomialPmf(2.5, 10, 0.3);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_TRUE(std::isfinite(b));
+  EXPECT_NEAR(a, b, 0.5);
+}
+
+TEST(LogBinomialPmfTest, SumsToOneOverSupport) {
+  double total = 0.0;
+  for (int k = 0; k <= 12; ++k) total += std::exp(LogBinomialPmf(k, 12, 0.37));
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LogSumExpTest, Basic) {
+  EXPECT_NEAR(LogSumExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_DOUBLE_EQ(LogSumExp(-INFINITY, 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(LogSumExp(1.5, -INFINITY), 1.5);
+  // Large magnitudes must not overflow.
+  EXPECT_NEAR(LogSumExp(1000.0, 1000.0), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(SimpsonIntegrateTest, Polynomial) {
+  // Simpson is exact for cubics: ∫0..1 x^3 = 1/4.
+  const double v =
+      SimpsonIntegrate([](double x) { return x * x * x; }, 0.0, 1.0, 4);
+  EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SimpsonIntegrateTest, Transcendental) {
+  const double v =
+      SimpsonIntegrate([](double x) { return std::sin(x); }, 0.0, M_PI, 256);
+  EXPECT_NEAR(v, 2.0, 1e-8);
+}
+
+TEST(PosteriorMeanTest, UniformWeightGivesMidpoint) {
+  const double v = PosteriorMean([](double) { return 0.0; }, 0.5, 1.0);
+  EXPECT_NEAR(v, 0.5, 1e-9);
+}
+
+TEST(PosteriorMeanTest, BetaPosteriorMatchesClosedForm) {
+  // Weight u^k (1-u)^(n-k) is Beta(k+1, n-k+1): mean (k+1)/(n+2).
+  const double k = 3;
+  const double n = 10;
+  auto logw = [&](double u) { return LogBinomialPmf(k, n, u); };
+  const double mean = PosteriorMean(logw, (k + 1) / (n + 2), 0.2, 20.0, 2048);
+  EXPECT_NEAR(mean, (k + 1) / (n + 2), 1e-4);
+}
+
+TEST(PosteriorMeanTest, SharplyPeakedLargeN) {
+  // n = 1e6 trials with 30% successes: posterior mean ~ 0.3; must stay
+  // finite and accurate despite the extreme peak.
+  const double n = 1e6;
+  const double k = 3e5;
+  auto logw = [&](double u) { return LogBinomialPmf(k, n, u); };
+  const double sigma = std::sqrt(0.3 * 0.7 / n);
+  const double mean = PosteriorMean(logw, 0.3, sigma);
+  EXPECT_NEAR(mean, 0.3, 1e-4);
+}
+
+TEST(PosteriorMeanTest, MonotoneInSuccessCount) {
+  // For fixed n the posterior mean must increase with k: this is the
+  // property the paper's Theorem 2 pruning relies on.
+  const double n = 5000;
+  double prev = -1.0;
+  for (double k = 0; k <= n; k += 250) {
+    auto logw = [&](double u) { return LogBinomialPmf(k, n, u); };
+    const double peak = (k + 1) / (n + 2);
+    const double sigma = std::sqrt(peak * (1 - peak) / n + 1e-12);
+    const double mean = PosteriorMean(logw, peak, sigma);
+    EXPECT_GT(mean, prev) << "k=" << k;
+    prev = mean;
+  }
+}
+
+TEST(ClampTest, Basic) {
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dd

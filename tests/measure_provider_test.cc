@@ -1,0 +1,152 @@
+#include "core/measure_provider.h"
+
+#include <gtest/gtest.h>
+
+#include "core/measures.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testutil::MakeMatching;
+using testutil::RandomMatching;
+
+MatchingRelation TinyMatching() {
+  // Columns: x, y. dmax = 4.
+  return MakeMatching({"x", "y"}, 4,
+                      {{0, 0}, {0, 4}, {1, 1}, {2, 3}, {4, 0}, {4, 4}});
+}
+
+ResolvedRule XyRule() { return ResolvedRule{{0}, {1}}; }
+
+TEST(ScanProviderTest, CountsMatchManualEnumeration) {
+  MatchingRelation m = TinyMatching();
+  ScanMeasureProvider provider(m, XyRule());
+  EXPECT_EQ(provider.total(), 6u);
+
+  provider.SetLhs({1});
+  EXPECT_EQ(provider.lhs_count(), 3u);  // rows with x <= 1
+  EXPECT_EQ(provider.CountXY({0}), 1u);  // (0,0)
+  EXPECT_EQ(provider.CountXY({1}), 2u);  // (0,0), (1,1)
+  EXPECT_EQ(provider.CountXY({4}), 3u);
+
+  provider.SetLhs({4});
+  EXPECT_EQ(provider.lhs_count(), 6u);
+  EXPECT_EQ(provider.CountXY({3}), 4u);
+}
+
+TEST(ScanProviderTest, SubsetModeAgreesWithFullScan) {
+  MatchingRelation m = RandomMatching(3, 8, 500, 17);
+  ResolvedRule rule{{0, 1}, {2}};
+  ScanMeasureProvider full(m, rule, /*full_scan=*/true);
+  ScanMeasureProvider subset(m, rule, /*full_scan=*/false);
+  for (int x0 = 0; x0 <= 8; x0 += 2) {
+    for (int x1 = 0; x1 <= 8; x1 += 3) {
+      full.SetLhs({x0, x1});
+      subset.SetLhs({x0, x1});
+      EXPECT_EQ(full.lhs_count(), subset.lhs_count());
+      for (int y = 0; y <= 8; ++y) {
+        EXPECT_EQ(full.CountXY({y}), subset.CountXY({y}))
+            << x0 << "," << x1 << "," << y;
+      }
+    }
+  }
+}
+
+TEST(GridProviderTest, AgreesWithScanProviderExhaustively) {
+  MatchingRelation m = RandomMatching(2, 6, 300, 23);
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider scan(m, rule);
+  auto grid = GridMeasureProvider::Create(m, rule);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid.value()->total(), scan.total());
+  for (int x = 0; x <= 6; ++x) {
+    scan.SetLhs({x});
+    grid.value()->SetLhs({x});
+    EXPECT_EQ(scan.lhs_count(), grid.value()->lhs_count()) << x;
+    for (int y = 0; y <= 6; ++y) {
+      EXPECT_EQ(scan.CountXY({y}), grid.value()->CountXY({y}))
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(GridProviderTest, ThreeAttributesAgree) {
+  MatchingRelation m = RandomMatching(3, 5, 400, 29);
+  ResolvedRule rule{{0, 2}, {1}};
+  ScanMeasureProvider scan(m, rule);
+  auto grid = GridMeasureProvider::Create(m, rule);
+  ASSERT_TRUE(grid.ok());
+  for (int x0 = 0; x0 <= 5; ++x0) {
+    for (int x1 = 0; x1 <= 5; ++x1) {
+      scan.SetLhs({x0, x1});
+      grid.value()->SetLhs({x0, x1});
+      ASSERT_EQ(scan.lhs_count(), grid.value()->lhs_count());
+      for (int y = 0; y <= 5; ++y) {
+        ASSERT_EQ(scan.CountXY({y}), grid.value()->CountXY({y}));
+      }
+    }
+  }
+}
+
+TEST(GridProviderTest, RejectsOversizedGrid) {
+  MatchingRelation m = RandomMatching(6, 200, 10, 31);
+  ResolvedRule rule{{0, 1, 2}, {3, 4, 5}};
+  EXPECT_FALSE(GridMeasureProvider::Create(m, rule, /*max_cells=*/1000).ok());
+}
+
+TEST(ProviderStatsTest, CountersTrackWork) {
+  MatchingRelation m = TinyMatching();
+  ScanMeasureProvider provider(m, XyRule());
+  provider.SetLhs({2});
+  provider.CountXY({2});
+  provider.CountXY({3});
+  EXPECT_EQ(provider.stats().lhs_evaluations, 1u);
+  EXPECT_EQ(provider.stats().xy_evaluations, 2u);
+  EXPECT_EQ(provider.stats().rows_scanned, 18u);  // 3 scans x 6 rows
+  provider.ResetStats();
+  EXPECT_EQ(provider.stats().xy_evaluations, 0u);
+}
+
+TEST(MakeMeasureProviderTest, FactoryKinds) {
+  MatchingRelation m = TinyMatching();
+  ResolvedRule rule = XyRule();
+  EXPECT_TRUE(MakeMeasureProvider(m, rule, "scan").ok());
+  EXPECT_TRUE(MakeMeasureProvider(m, rule, "scan_subset").ok());
+  EXPECT_TRUE(MakeMeasureProvider(m, rule, "grid").ok());
+  EXPECT_FALSE(MakeMeasureProvider(m, rule, "bogus").ok());
+}
+
+TEST(MeasuresTest, FromCountsComputesAllStatistics) {
+  Measures m = MeasuresFromCounts(100, 40, 30, {2, 2}, 10);
+  EXPECT_DOUBLE_EQ(m.d, 0.4);
+  EXPECT_DOUBLE_EQ(m.confidence, 0.75);
+  EXPECT_DOUBLE_EQ(m.support, 0.3);
+  EXPECT_DOUBLE_EQ(m.quality, 0.8);
+  // S = C * D must hold (paper: S(ϕ) = C(ϕ)D(ϕ)).
+  EXPECT_NEAR(m.support, m.confidence * m.d, 1e-12);
+}
+
+TEST(MeasuresTest, EmptyDenominators) {
+  Measures m = MeasuresFromCounts(0, 0, 0, {1}, 10);
+  EXPECT_DOUBLE_EQ(m.d, 0.0);
+  EXPECT_DOUBLE_EQ(m.confidence, 0.0);
+  EXPECT_DOUBLE_EQ(m.support, 0.0);
+}
+
+TEST(MeasuresTest, PaperDd1Example) {
+  // D(dd1) = 6/15, C(dd1) = 4/6, S(dd1) = 4/15 on the Hotel instance.
+  // Region threshold 4 is the plain-Levenshtein equivalent of the
+  // paper's q-gram-based threshold 3 (see matching_test.cc).
+  MatchingRelation m = testutil::HotelMatching(/*dmax=*/30);
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  Measures measures =
+      ComputeMeasures(&provider, Pattern{{8}, {4}}, /*dmax=*/30);
+  EXPECT_NEAR(measures.d, 6.0 / 15.0, 1e-12);
+  EXPECT_NEAR(measures.confidence, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(measures.support, 4.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,197 @@
+#include "metric/metric.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  LevenshteinMetric lev;
+  EXPECT_DOUBLE_EQ(lev.Distance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("kitten", "sitting"), 3.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("flaw", "lawn"), 2.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("", "abc"), 3.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("abc", ""), 3.0);
+}
+
+TEST(LevenshteinTest, PaperRegionValues) {
+  // "Chicago" vs "Chicago, IL": 4 inserts.
+  LevenshteinMetric lev;
+  EXPECT_DOUBLE_EQ(lev.Distance("Chicago", "Chicago, IL"), 4.0);
+  EXPECT_DOUBLE_EQ(lev.Distance("Boston, MA", "Chicago, MA"), 7.0);
+}
+
+TEST(LevenshteinTest, BoundedMatchesExactWithinCap) {
+  LevenshteinMetric lev;
+  Rng rng(5);
+  auto random_string = [&](std::size_t max_len) {
+    std::string s(rng.NextBounded(max_len + 1), 'a');
+    for (char& c : s) c = static_cast<char>('a' + rng.NextBounded(5));
+    return s;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = random_string(14);
+    std::string b = random_string(14);
+    double exact = lev.Distance(a, b);
+    for (double cap : {0.0, 1.0, 3.0, 8.0, 20.0}) {
+      double bounded = lev.BoundedDistance(a, b, cap);
+      if (exact <= cap) {
+        EXPECT_DOUBLE_EQ(bounded, exact) << a << " vs " << b;
+      } else {
+        EXPECT_GT(bounded, cap) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+// Metric axioms checked across all string metrics.
+class MetricAxiomTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MetricAxiomTest, NonNegativeSymmetricIdentity) {
+  auto metric = MetricRegistry::Default().Create(GetParam());
+  ASSERT_TRUE(metric.ok());
+  const std::vector<std::string> values = {
+      "", "a", "abc", "West Wood Hotel", "Fifth Avenue, 61st Street",
+      "5th Avenue, 61st St.", "Chicago, IL", "chicago"};
+  for (const auto& a : values) {
+    EXPECT_DOUBLE_EQ(metric.value()->Distance(a, a), 0.0) << a;
+    for (const auto& b : values) {
+      double ab = metric.value()->Distance(a, b);
+      double ba = metric.value()->Distance(b, a);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_DOUBLE_EQ(ab, ba) << a << " vs " << b;
+    }
+  }
+}
+
+TEST_P(MetricAxiomTest, TriangleInequalityOnTextMetrics) {
+  // Levenshtein, q-gram (multiset symmetric difference) and Jaccard are
+  // true metrics. Cosine distance is not guaranteed to satisfy the
+  // triangle inequality, so it is excluded here.
+  if (GetParam() == "cosine") GTEST_SKIP() << "cosine is not a metric";
+  auto metric = MetricRegistry::Default().Create(GetParam());
+  ASSERT_TRUE(metric.ok());
+  const std::vector<std::string> values = {"abcd", "abed", "xbed", "xyed",
+                                           "hello world", "hello there"};
+  for (const auto& a : values) {
+    for (const auto& b : values) {
+      for (const auto& c : values) {
+        EXPECT_LE(metric.value()->Distance(a, c),
+                  metric.value()->Distance(a, b) +
+                      metric.value()->Distance(b, c) + 1e-9)
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStringMetrics, MetricAxiomTest,
+                         ::testing::Values("levenshtein", "qgram2", "qgram3",
+                                           "jaccard", "cosine"));
+
+TEST(QGramTest, KnownProfileDifference) {
+  QGramMetric q2(2);
+  // Identical strings.
+  EXPECT_DOUBLE_EQ(q2.Distance("abc", "abc"), 0.0);
+  // One substitution changes a bounded number of q-grams.
+  EXPECT_GT(q2.Distance("abc", "abd"), 0.0);
+  EXPECT_LE(q2.Distance("abc", "abd"), 4.0);
+}
+
+TEST(QGramTest, BoundsEditDistanceFromBelowScaled) {
+  // |G(a)| - based q-gram distance <= 2*q*edit_distance.
+  QGramMetric q2(2);
+  LevenshteinMetric lev;
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string a = "prefix string value";
+    std::string b = a;
+    int edits = static_cast<int>(rng.NextBounded(4));
+    for (int e = 0; e < edits && !b.empty(); ++e) {
+      b[rng.NextBounded(b.size())] = 'z';
+    }
+    EXPECT_LE(q2.Distance(a, b), 2.0 * 2.0 * lev.Distance(a, b) + 1e-9);
+  }
+}
+
+TEST(JaccardTest, KnownValues) {
+  JaccardMetric j;
+  EXPECT_DOUBLE_EQ(j.Distance("a b c", "a b c"), 0.0);
+  EXPECT_DOUBLE_EQ(j.Distance("a b", "c d"), 1.0);
+  EXPECT_NEAR(j.Distance("a b c", "b c d"), 0.5, 1e-12);  // 2/4 shared
+  EXPECT_DOUBLE_EQ(j.Distance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(j.Distance("x", ""), 1.0);
+  EXPECT_DOUBLE_EQ(j.Distance("A b", "a B"), 0.0);  // Case-folded tokens.
+}
+
+TEST(CosineTest, KnownValues) {
+  CosineMetric c;
+  EXPECT_DOUBLE_EQ(c.Distance("a b", "a b"), 0.0);
+  EXPECT_DOUBLE_EQ(c.Distance("a", "b"), 1.0);
+  // Orthogonal halves: cos = 1/2.
+  EXPECT_NEAR(c.Distance("a b", "a c"), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(c.Distance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(c.Distance("x", ""), 1.0);
+}
+
+TEST(CosineTest, TermFrequencyWeighting) {
+  CosineMetric c;
+  // "a a b" = (2,1), "a b b" = (1,2): cos = 4/5.
+  EXPECT_NEAR(c.Distance("a a b", "a b b"), 1.0 - 0.8, 1e-12);
+}
+
+TEST(NumericAbsTest, ParsesAndDiffs) {
+  NumericAbsMetric m;
+  EXPECT_DOUBLE_EQ(m.Distance("3", "7"), 4.0);
+  EXPECT_DOUBLE_EQ(m.Distance("-2.5", "2.5"), 5.0);
+  EXPECT_DOUBLE_EQ(m.Distance("1995", "1995"), 0.0);
+  EXPECT_TRUE(std::isinf(m.Distance("abc", "3")));
+  EXPECT_DOUBLE_EQ(m.Distance("abc", "abc"), 0.0);  // Equal strings.
+}
+
+TEST(RegistryTest, BuiltinsPresent) {
+  auto names = MetricRegistry::Default().Names();
+  for (const char* expected :
+       {"cosine", "jaccard", "levenshtein", "numeric_abs", "qgram2",
+        "qgram3"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(RegistryTest, CreateUnknownFails) {
+  EXPECT_EQ(MetricRegistry::Default().Create("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+  MetricRegistry local;
+  EXPECT_TRUE(local
+                  .Register("custom",
+                            [] { return std::make_unique<LevenshteinMetric>(); })
+                  .ok());
+  EXPECT_EQ(local
+                .Register("custom",
+                          [] { return std::make_unique<LevenshteinMetric>(); })
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, NormalizedFlags) {
+  EXPECT_FALSE(LevenshteinMetric().is_normalized());
+  EXPECT_FALSE(QGramMetric(2).is_normalized());
+  EXPECT_TRUE(JaccardMetric().is_normalized());
+  EXPECT_TRUE(CosineMetric().is_normalized());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,182 @@
+#include "core/pa.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using testutil::MakeMatching;
+using testutil::RandomMatching;
+
+// Exhaustive reference: argmax C·Q by brute force.
+std::vector<RhsCandidate> BruteForce(MeasureProvider* provider,
+                                     std::size_t rhs_dims, int dmax,
+                                     std::size_t top_l) {
+  CandidateLattice lat(rhs_dims, dmax);
+  std::vector<RhsCandidate> all;
+  for (std::size_t idx = 0; idx < lat.size(); ++idx) {
+    RhsCandidate c;
+    c.rhs = lat.LevelsOf(idx);
+    c.xy_count = provider->CountXY(c.rhs);
+    const std::uint64_t n = provider->lhs_count();
+    c.confidence = n > 0 ? static_cast<double>(c.xy_count) / n : 0.0;
+    c.quality = DependentQuality(c.rhs, dmax);
+    c.cq = c.confidence * c.quality;
+    all.push_back(std::move(c));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const RhsCandidate& a, const RhsCandidate& b) {
+              return a.cq > b.cq;
+            });
+  std::vector<RhsCandidate> top;
+  for (const auto& c : all) {
+    if (top.size() == top_l) break;
+    if (c.cq > 0.0) top.push_back(c);
+  }
+  return top;
+}
+
+TEST(PaTest, FindsKnownOptimum) {
+  // One Y attribute. LHS satisfied rows have y-levels {0,0,1,3}; the
+  // optimum trades confidence against quality.
+  MatchingRelation m = MakeMatching(
+      {"x", "y"}, 4, {{0, 0}, {0, 0}, {0, 1}, {0, 3}, {4, 4}, {4, 4}});
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({0});
+  PaOptions opts;
+  PaStats stats;
+  auto best = FindBestRhs(&provider, 1, 4, 0.0, opts, &stats);
+  ASSERT_EQ(best.size(), 1u);
+  // Candidates: y=0 -> C=2/4, Q=1 -> 0.5; y=1 -> C=3/4, Q=0.75 -> 0.5625;
+  // y=3 -> 1.0*0.25; y=4 -> 1.0*0. Optimum is y=1.
+  EXPECT_EQ(best[0].rhs, (Levels{1}));
+  EXPECT_NEAR(best[0].cq, 0.5625, 1e-12);
+  EXPECT_EQ(stats.evaluated, 5u);  // PA evaluates all of C_Y.
+  EXPECT_EQ(stats.pruned, 0u);
+}
+
+class PapEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<ProcessingOrder, int>> {};
+
+TEST_P(PapEquivalenceTest, PapMatchesPaOnRandomData) {
+  const auto [order, seed] = GetParam();
+  MatchingRelation m = RandomMatching(3, 7, 400, seed);
+  ResolvedRule rule{{0}, {1, 2}};
+  ScanMeasureProvider provider(m, rule);
+
+  for (int x : {0, 2, 5, 7}) {
+    provider.SetLhs({x});
+    PaOptions pa;
+    pa.prune = false;
+    PaStats pa_stats;
+    auto exhaustive = FindBestRhs(&provider, 2, 7, 0.0, pa, &pa_stats);
+
+    PaOptions pap;
+    pap.prune = true;
+    pap.order = order;
+    PaStats pap_stats;
+    auto pruned = FindBestRhs(&provider, 2, 7, 0.0, pap, &pap_stats);
+
+    ASSERT_EQ(exhaustive.size(), pruned.size()) << "x=" << x;
+    if (!exhaustive.empty()) {
+      // Same optimum value (patterns may differ under ties).
+      EXPECT_NEAR(exhaustive[0].cq, pruned[0].cq, 1e-12) << "x=" << x;
+    }
+    // Pruning must never evaluate more than the exhaustive pass.
+    EXPECT_LE(pap_stats.evaluated, pa_stats.evaluated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OrdersAndSeeds, PapEquivalenceTest,
+    ::testing::Combine(::testing::Values(ProcessingOrder::kMidFirst,
+                                         ProcessingOrder::kTopFirst,
+                                         ProcessingOrder::kBottomFirst,
+                                         ProcessingOrder::kLexicographic),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(PapTest, TopLMatchesBruteForce) {
+  MatchingRelation m = RandomMatching(2, 9, 600, 11);
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({4});
+  for (std::size_t l : {1u, 2u, 3u, 5u, 7u}) {
+    auto expected = BruteForce(&provider, 1, 9, l);
+    PaOptions pap;
+    pap.prune = true;
+    pap.top_l = l;
+    auto got = FindBestRhs(&provider, 1, 9, 0.0, pap, nullptr);
+    ASSERT_EQ(got.size(), expected.size()) << "l=" << l;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i].cq, expected[i].cq, 1e-12) << "l=" << l << " i=" << i;
+    }
+  }
+}
+
+TEST(PapTest, InitialBoundFiltersResults) {
+  MatchingRelation m = MakeMatching({"x", "y"}, 4,
+                                    {{0, 0}, {0, 0}, {0, 2}, {0, 4}});
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({0});
+  // Best CQ: y=0 -> C=0.5, Q=1 -> 0.5. A bound of 0.6 excludes all.
+  PaOptions pap;
+  pap.prune = true;
+  auto none = FindBestRhs(&provider, 1, 4, 0.6, pap, nullptr);
+  EXPECT_TRUE(none.empty());
+  auto some = FindBestRhs(&provider, 1, 4, 0.4, pap, nullptr);
+  ASSERT_EQ(some.size(), 1u);
+  EXPECT_NEAR(some[0].cq, 0.5, 1e-12);
+}
+
+TEST(PapTest, BoundReducesEvaluations) {
+  MatchingRelation m = RandomMatching(2, 9, 400, 13);
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({5});
+  PaOptions pap;
+  pap.prune = true;
+  pap.order = ProcessingOrder::kTopFirst;
+  PaStats unbounded;
+  FindBestRhs(&provider, 1, 9, 0.0, pap, &unbounded);
+  PaStats bounded;
+  FindBestRhs(&provider, 1, 9, 0.9, pap, &bounded);
+  EXPECT_LE(bounded.evaluated, unbounded.evaluated);
+}
+
+TEST(PaTest, ZeroConfidenceLhsReturnsEmpty) {
+  // No row satisfies x <= 0, so every CQ is 0 and nothing strictly
+  // exceeds the initial bound of 0 (DAP's "if ϕi[Y] exists" case).
+  MatchingRelation m = MakeMatching({"x", "y"}, 4, {{3, 0}, {4, 1}});
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({0});
+  for (bool prune : {false, true}) {
+    PaOptions opts;
+    opts.prune = prune;
+    auto best = FindBestRhs(&provider, 1, 4, 0.0, opts, nullptr);
+    EXPECT_TRUE(best.empty()) << "prune=" << prune;
+  }
+}
+
+TEST(PapTest, PrunesAggressivelyUnderZeroConfidence) {
+  MatchingRelation m = MakeMatching({"x", "y"}, 4, {{3, 0}, {4, 1}});
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  provider.SetLhs({0});
+  PaOptions pap;
+  pap.prune = true;
+  pap.order = ProcessingOrder::kTopFirst;
+  PaStats stats;
+  FindBestRhs(&provider, 1, 4, 0.0, pap, &stats);
+  // The first (all-dmax) candidate has C = 0 and dominates everything:
+  // one evaluation suffices.
+  EXPECT_EQ(stats.evaluated, 1u);
+  EXPECT_EQ(stats.pruned, 4u);
+}
+
+}  // namespace
+}  // namespace dd

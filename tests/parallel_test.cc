@@ -1,0 +1,103 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/measure_provider.h"
+#include "core/determiner.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 7u}) {
+    for (std::size_t count : {0u, 1u, 5u, 100u, 1001u}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h = 0;
+      ParallelFor(count, threads,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+                  });
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, ChunkIndicesAreDistinct) {
+  std::mutex mu;
+  std::set<std::size_t> chunks;
+  ParallelFor(1000, 4, [&](std::size_t chunk, std::size_t, std::size_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.insert(chunk);
+  });
+  EXPECT_EQ(chunks.size(), 4u);
+}
+
+TEST(ParallelForTest, EffectiveChunksBounds) {
+  EXPECT_EQ(EffectiveChunks(100, 1), 1u);
+  EXPECT_EQ(EffectiveChunks(100, 4), 4u);
+  EXPECT_EQ(EffectiveChunks(2, 8), 2u);  // Never more chunks than items.
+  EXPECT_EQ(EffectiveChunks(0, 8), 1u);
+  EXPECT_EQ(EffectiveChunks(100, 0), 1u);
+}
+
+TEST(ParallelForTest, ZeroCountDoesNotInvoke) {
+  bool invoked = false;
+  ParallelFor(0, 4, [&](std::size_t, std::size_t, std::size_t) {
+    invoked = true;
+  });
+  EXPECT_FALSE(invoked);
+}
+
+class ParallelProviderTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelProviderTest, MatchesSerialCountsExactly) {
+  const std::size_t threads = GetParam();
+  MatchingRelation m = testutil::RandomMatching(3, 7, 1000, 99);
+  ResolvedRule rule{{0, 1}, {2}};
+  ScanMeasureProvider serial(m, rule, /*full_scan=*/true, 1);
+  ScanMeasureProvider parallel(m, rule, /*full_scan=*/true, threads);
+  ScanMeasureProvider parallel_subset(m, rule, /*full_scan=*/false, threads);
+  for (int x0 : {0, 3, 7}) {
+    for (int x1 : {1, 5}) {
+      serial.SetLhs({x0, x1});
+      parallel.SetLhs({x0, x1});
+      parallel_subset.SetLhs({x0, x1});
+      ASSERT_EQ(serial.lhs_count(), parallel.lhs_count());
+      ASSERT_EQ(serial.lhs_count(), parallel_subset.lhs_count());
+      for (int y = 0; y <= 7; ++y) {
+        const std::uint64_t expected = serial.CountXY({y});
+        ASSERT_EQ(parallel.CountXY({y}), expected);
+        ASSERT_EQ(parallel_subset.CountXY({y}), expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelProviderTest,
+                         ::testing::Values(2, 3, 4, 8));
+
+TEST(ParallelProviderTest, DeterminationMatchesSerial) {
+  MatchingRelation m = testutil::RandomMatching(2, 6, 600, 77);
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions serial;
+  DetermineOptions parallel;
+  parallel.provider_threads = 4;
+  auto a = DetermineThresholds(m, rule, serial);
+  auto b = DetermineThresholds(m, rule, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->patterns.empty());
+  ASSERT_FALSE(b->patterns.empty());
+  EXPECT_NEAR(a->patterns[0].utility, b->patterns[0].utility, 1e-12);
+  EXPECT_EQ(a->patterns[0].measures.xy_count, b->patterns[0].measures.xy_count);
+}
+
+}  // namespace
+}  // namespace dd

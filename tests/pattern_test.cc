@@ -1,0 +1,81 @@
+#include "core/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+TEST(DominatesTest, BasicCases) {
+  EXPECT_TRUE(Dominates({3, 4}, {3, 4}));   // Reflexive.
+  EXPECT_TRUE(Dominates({5, 4}, {3, 4}));
+  EXPECT_FALSE(Dominates({2, 9}, {3, 4}));  // First coordinate smaller.
+  EXPECT_TRUE(Dominates({9, 9}, {0, 0}));
+  EXPECT_FALSE(Dominates({0, 0}, {0, 1}));
+}
+
+TEST(DominatesTest, Transitivity) {
+  const Levels a = {5, 5, 5};
+  const Levels b = {4, 5, 3};
+  const Levels c = {4, 2, 1};
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_TRUE(Dominates(b, c));
+  EXPECT_TRUE(Dominates(a, c));
+}
+
+TEST(DependentQualityTest, Formula3) {
+  // Q = sum(dmax - l) / (|Y| dmax).
+  EXPECT_DOUBLE_EQ(DependentQuality({0, 0}, 10), 1.0);
+  EXPECT_DOUBLE_EQ(DependentQuality({10, 10}, 10), 0.0);
+  EXPECT_DOUBLE_EQ(DependentQuality({5}, 10), 0.5);
+  EXPECT_DOUBLE_EQ(DependentQuality({3, 1}, 10), 0.8);  // (7+9)/20
+  EXPECT_DOUBLE_EQ(DependentQuality({}, 10), 1.0);
+}
+
+TEST(DependentQualityTest, PaperTableIIIValues) {
+  // Table III Y = (venue, year) with dmax = 10:
+  // <3,1> -> 0.80, <3,2> -> 0.75, <4,2> -> 0.70, <5,2> -> 0.65.
+  EXPECT_DOUBLE_EQ(DependentQuality({3, 1}, 10), 0.80);
+  EXPECT_DOUBLE_EQ(DependentQuality({3, 2}, 10), 0.75);
+  EXPECT_DOUBLE_EQ(DependentQuality({4, 2}, 10), 0.70);
+  EXPECT_DOUBLE_EQ(DependentQuality({5, 2}, 10), 0.65);
+}
+
+TEST(DependentQualityTest, AntitoneUnderDomination) {
+  // ϕ1 ⪰ ϕ2 implies Q(ϕ1) <= Q(ϕ2) (Lemma 1, quality half).
+  const Levels big = {7, 8};
+  const Levels small = {2, 3};
+  ASSERT_TRUE(Dominates(big, small));
+  EXPECT_LE(DependentQuality(big, 10), DependentQuality(small, 10));
+}
+
+TEST(LevelSumTest, Basic) {
+  EXPECT_EQ(LevelSum({}), 0);
+  EXPECT_EQ(LevelSum({1, 2, 3}), 6);
+}
+
+TEST(PatternTest, FdFactoryIsAllZero) {
+  Pattern fd = Pattern::Fd(2, 3);
+  EXPECT_EQ(fd.lhs, (Levels{0, 0}));
+  EXPECT_EQ(fd.rhs, (Levels{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(DependentQuality(fd.rhs, 10), 1.0);
+}
+
+TEST(PatternTest, ExactLhsFactoryIsMfd) {
+  Pattern mfd = Pattern::ExactLhs(2, {4, 5});
+  EXPECT_EQ(mfd.lhs, (Levels{0, 0}));
+  EXPECT_EQ(mfd.rhs, (Levels{4, 5}));
+}
+
+TEST(PatternTest, Formatting) {
+  EXPECT_EQ(LevelsToString({8, 3}), "<8, 3>");
+  EXPECT_EQ(LevelsToString({}), "<>");
+  EXPECT_EQ(PatternToString(Pattern{{8}, {3}}), "(<8> -> <3>)");
+}
+
+TEST(PatternTest, Equality) {
+  EXPECT_EQ((Pattern{{1}, {2}}), (Pattern{{1}, {2}}));
+  EXPECT_FALSE((Pattern{{1}, {2}}) == (Pattern{{1}, {3}}));
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,89 @@
+#include "data/perturb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "metric/metric.h"
+
+namespace dd {
+namespace {
+
+TEST(PerturbTest, AbbreviationsFireWithProbabilityOne) {
+  TextPerturber p;
+  Rng rng(1);
+  std::string out = p.ApplyAbbreviations("Fifth Avenue", 1.0, &rng);
+  EXPECT_EQ(out, "5th Ave.");
+}
+
+TEST(PerturbTest, AbbreviationsNeverFireWithProbabilityZero) {
+  TextPerturber p;
+  Rng rng(1);
+  EXPECT_EQ(p.ApplyAbbreviations("Fifth Avenue", 0.0, &rng), "Fifth Avenue");
+}
+
+TEST(PerturbTest, CustomDictionary) {
+  std::vector<std::pair<std::string, std::string>> dict = {{"Hello", "Hi"}};
+  TextPerturber p(dict);
+  Rng rng(2);
+  EXPECT_EQ(p.ApplyAbbreviations("Hello World", 1.0, &rng), "Hi World");
+}
+
+TEST(PerturbTest, TyposChangeStringBoundedly) {
+  Rng rng(3);
+  LevenshteinMetric lev;
+  for (int i = 0; i < 50; ++i) {
+    std::string out = TextPerturber::ApplyTypos("edit distance target", 2.0, &rng);
+    // Each edit changes Levenshtein distance by at most 1; with mean 2.0
+    // the draw is at most 3 edits (floor(2) + Bernoulli).
+    EXPECT_LE(lev.Distance("edit distance target", out), 3.0);
+  }
+}
+
+TEST(PerturbTest, ZeroTyposIsIdentity) {
+  Rng rng(4);
+  EXPECT_EQ(TextPerturber::ApplyTypos("unchanged", 0.0, &rng), "unchanged");
+}
+
+TEST(PerturbTest, DropTokenRemovesExactlyOne) {
+  Rng rng(5);
+  std::string out = TextPerturber::DropToken("one two three", &rng);
+  EXPECT_EQ(SplitWhitespace(out).size(), 2u);
+}
+
+TEST(PerturbTest, DropTokenKeepsSingleton) {
+  Rng rng(6);
+  EXPECT_EQ(TextPerturber::DropToken("solo", &rng), "solo");
+}
+
+TEST(PerturbTest, StripPunctuation) {
+  EXPECT_EQ(TextPerturber::StripPunctuation("No.3, West Lake Rd."),
+            "No3 West Lake Rd");
+}
+
+TEST(PerturbTest, PerturbIsDeterministicGivenSeed) {
+  TextPerturber p;
+  PerturbOptions opts;
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(p.Perturb("Fifth Avenue, 61st Street", opts, &a),
+            p.Perturb("Fifth Avenue, 61st Street", opts, &b));
+}
+
+TEST(PerturbTest, PerturbedValuesStayClose) {
+  TextPerturber p;
+  PerturbOptions opts;  // Defaults: mild noise.
+  Rng rng(88);
+  LevenshteinMetric lev;
+  const std::string canonical = "Proceedings of the International Conference";
+  double total = 0.0;
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    total += lev.Distance(canonical, p.Perturb(canonical, opts, &rng));
+  }
+  // Mild defaults keep variants within a small edit radius on average —
+  // the property the generators rely on for within-entity similarity.
+  EXPECT_LT(total / n, 15.0);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,100 @@
+// Full-pipeline integration through the file formats: generate → CSV →
+// reload → matching relation → persist → reload → determine → JSON/CSV
+// export — the exact chain a ddtool user runs across separate
+// invocations.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/determiner.h"
+#include "core/result_io.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "matching/builder.h"
+#include "matching/serialization.h"
+
+namespace dd {
+namespace {
+
+TEST(PipelineTest, CsvAndMatchingPersistenceRoundTrip) {
+  // 1. Generate and write the clean instance to CSV.
+  RestaurantOptions gopts;
+  gopts.num_entities = 40;
+  GeneratedData data = GenerateRestaurant(gopts);
+  const std::string csv_path = ::testing::TempDir() + "/dd_pipeline.csv";
+  ASSERT_TRUE(WriteCsvFile(data.relation, csv_path).ok());
+
+  // 2. Reload the CSV (string-typed schema) and rebuild the matching
+  //    relation from the file contents.
+  auto reloaded = ReadCsvFile(csv_path);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->num_rows(), data.relation.num_rows());
+  RuleSpec rule{{"name", "address"}, {"city"}};
+  MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = 3000;
+  auto matching =
+      BuildMatchingRelation(*reloaded, rule.AllAttributes(), mopts);
+  ASSERT_TRUE(matching.ok());
+
+  // 3. Persist the matching relation and reload it.
+  const std::string ddmr_path = ::testing::TempDir() + "/dd_pipeline.ddmr";
+  ASSERT_TRUE(WriteMatchingFile(*matching, ddmr_path).ok());
+  auto loaded = ReadMatchingFile(ddmr_path);
+  ASSERT_TRUE(loaded.ok());
+
+  // 4. Determination on the loaded relation matches the in-memory one.
+  DetermineOptions dopts;
+  dopts.top_l = 3;
+  auto direct = DetermineThresholds(*matching, rule, dopts);
+  auto via_file = DetermineThresholds(*loaded, rule, dopts);
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via_file.ok());
+  ASSERT_EQ(direct->patterns.size(), via_file->patterns.size());
+  for (std::size_t i = 0; i < direct->patterns.size(); ++i) {
+    EXPECT_EQ(direct->patterns[i].pattern, via_file->patterns[i].pattern);
+    EXPECT_NEAR(direct->patterns[i].utility, via_file->patterns[i].utility,
+                1e-12);
+  }
+
+  // 5. Exports are well-formed and mention the determined pattern.
+  ASSERT_FALSE(via_file->patterns.empty());
+  std::string json = DetermineResultToJson(*via_file, rule);
+  EXPECT_NE(json.find("\"rule\":{\"lhs\":[\"name\",\"address\"]"),
+            std::string::npos);
+  std::string csv = DetermineResultToCsv(*via_file);
+  EXPECT_NE(csv.find(LevelsToString(via_file->patterns[0].pattern.rhs)),
+            std::string::npos);
+
+  std::remove(csv_path.c_str());
+  std::remove(ddmr_path.c_str());
+}
+
+TEST(PipelineTest, CsvRoundTripPreservesDeterminationExactly) {
+  // Writing a relation to CSV and reading it back must not change any
+  // distance level (quoting/escaping is lossless for generator output).
+  CoraOptions gopts;
+  gopts.num_entities = 25;
+  GeneratedData data = GenerateCora(gopts);
+  auto back = ParseCsv(ToCsv(data.relation));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_rows(), data.relation.num_rows());
+  for (std::size_t r = 0; r < back->num_rows(); ++r) {
+    ASSERT_EQ(back->row(r), data.relation.row(r)) << "row " << r;
+  }
+  RuleSpec rule{{"author"}, {"venue"}};
+  MatchingOptions mopts;
+  mopts.dmax = 8;
+  auto m1 = BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+  auto m2 = BuildMatchingRelation(*back, rule.AllAttributes(), mopts);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  ASSERT_EQ(m1->num_tuples(), m2->num_tuples());
+  for (std::size_t a = 0; a < m1->num_attributes(); ++a) {
+    EXPECT_EQ(m1->column(a), m2->column(a));
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,161 @@
+#include "reason/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "reason/statement.h"
+
+namespace dd {
+namespace {
+
+constexpr int kDmax = 10;
+
+DdStatement Make(std::vector<std::string> lhs, Levels lhs_levels,
+                 std::vector<std::string> rhs, Levels rhs_levels) {
+  return DdStatement{RuleSpec{std::move(lhs), std::move(rhs)},
+                     Pattern{std::move(lhs_levels), std::move(rhs_levels)}};
+}
+
+TEST(StatementTest, ToStringPaperNotation) {
+  DdStatement dd1 = Make({"Address"}, {8}, {"Region"}, {3});
+  EXPECT_EQ(dd1.ToString(), "([Address] -> [Region], <8, 3>)");
+}
+
+TEST(StatementTest, ValidateCatchesErrors) {
+  EXPECT_TRUE(ValidateStatement(Make({"A"}, {3}, {"B"}, {2}), kDmax).ok());
+  // Arity mismatch.
+  EXPECT_FALSE(ValidateStatement(Make({"A"}, {3, 4}, {"B"}, {2}), kDmax).ok());
+  // Shared attribute.
+  EXPECT_FALSE(ValidateStatement(Make({"A"}, {3}, {"A"}, {2}), kDmax).ok());
+  // Threshold out of range.
+  EXPECT_FALSE(ValidateStatement(Make({"A"}, {11}, {"B"}, {2}), kDmax).ok());
+  EXPECT_FALSE(ValidateStatement(Make({"A"}, {-1}, {"B"}, {2}), kDmax).ok());
+  // Empty side.
+  EXPECT_FALSE(ValidateStatement(Make({}, {}, {"B"}, {2}), kDmax).ok());
+}
+
+TEST(ImplicationTest, TrivialStatements) {
+  EXPECT_TRUE(IsTrivial(Make({"A"}, {3}, {"B"}, {10}), kDmax));
+  EXPECT_TRUE(IsTrivial(Make({"A"}, {0}, {"B", "C"}, {10, 10}), kDmax));
+  EXPECT_FALSE(IsTrivial(Make({"A"}, {3}, {"B"}, {9}), kDmax));
+  // Anything implies a trivial statement.
+  EXPECT_TRUE(Implies(Make({"X"}, {1}, {"Y"}, {1}),
+                      Make({"A"}, {3}, {"B"}, {10}), kDmax));
+}
+
+TEST(ImplicationTest, SameRuleDominance) {
+  DdStatement a = Make({"A"}, {8}, {"B"}, {3});
+  // Tighter premise, looser conclusion: implied.
+  EXPECT_TRUE(Implies(a, Make({"A"}, {5}, {"B"}, {4}), kDmax));
+  EXPECT_TRUE(Implies(a, Make({"A"}, {8}, {"B"}, {3}), kDmax));  // Reflexive.
+  // Looser premise: not implied.
+  EXPECT_FALSE(Implies(a, Make({"A"}, {9}, {"B"}, {3}), kDmax));
+  // Tighter conclusion: not implied.
+  EXPECT_FALSE(Implies(a, Make({"A"}, {8}, {"B"}, {2}), kDmax));
+}
+
+TEST(ImplicationTest, CrossRuleAttributeSets) {
+  // a: [A] -> [B, C]. Implies [A, D] -> [B] (extra premise attribute,
+  // subset conclusion).
+  DdStatement a = Make({"A"}, {4}, {"B", "C"}, {2, 5});
+  EXPECT_TRUE(Implies(a, Make({"A", "D"}, {3, 7}, {"B"}, {2}), kDmax));
+  EXPECT_TRUE(Implies(a, Make({"A", "D"}, {4, 0}, {"C"}, {6}), kDmax));
+  // b's premise does not bound A tightly enough.
+  EXPECT_FALSE(Implies(a, Make({"D"}, {1}, {"B"}, {2}), kDmax));
+  // b concludes on an attribute a says nothing about.
+  EXPECT_FALSE(Implies(a, Make({"A"}, {3}, {"E"}, {2}), kDmax));
+}
+
+TEST(ImplicationTest, UnlimitedPremiseAttributeNeedsNoMatch) {
+  // a's premise on D is already unlimited (dmax), so b need not bound D.
+  DdStatement a = Make({"A", "D"}, {4, 10}, {"B"}, {2});
+  EXPECT_TRUE(Implies(a, Make({"A"}, {3}, {"B"}, {2}), kDmax));
+  // But a finite premise on D must be matched.
+  DdStatement a2 = Make({"A", "D"}, {4, 6}, {"B"}, {2});
+  EXPECT_FALSE(Implies(a2, Make({"A"}, {3}, {"B"}, {2}), kDmax));
+  EXPECT_TRUE(Implies(a2, Make({"A", "D"}, {3, 5}, {"B"}, {2}), kDmax));
+}
+
+TEST(ImplicationTest, NotSymmetric) {
+  DdStatement strong = Make({"A"}, {8}, {"B"}, {2});
+  DdStatement weak = Make({"A"}, {4}, {"B"}, {5});
+  EXPECT_TRUE(Implies(strong, weak, kDmax));
+  EXPECT_FALSE(Implies(weak, strong, kDmax));
+}
+
+TEST(MinimalCoverTest, RemovesImpliedAndTrivial) {
+  std::vector<DdStatement> statements = {
+      Make({"A"}, {8}, {"B"}, {2}),   // strongest
+      Make({"A"}, {4}, {"B"}, {5}),   // implied by the first
+      Make({"A"}, {2}, {"B"}, {10}),  // trivial
+      Make({"C"}, {3}, {"B"}, {1}),   // independent
+  };
+  auto cover = MinimalCover(statements, kDmax);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], statements[0]);
+  EXPECT_EQ(cover[1], statements[3]);
+}
+
+TEST(MinimalCoverTest, KeepsOneOfEquivalentPair) {
+  std::vector<DdStatement> statements = {
+      Make({"A"}, {5}, {"B"}, {3}),
+      Make({"A"}, {5}, {"B"}, {3}),
+  };
+  auto cover = MinimalCover(statements, kDmax);
+  ASSERT_EQ(cover.size(), 1u);
+}
+
+TEST(MinimalCoverTest, EmptyAndSingleton) {
+  EXPECT_TRUE(MinimalCover({}, kDmax).empty());
+  auto one = MinimalCover({Make({"A"}, {5}, {"B"}, {3})}, kDmax);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(SatisfiesTest, HotelInstance) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions mopts;
+  mopts.dmax = 30;
+  // dd1-like with Region threshold 4 holds except the true violations;
+  // the all-dmax conclusion always holds.
+  DdStatement trivial = Make({"Address"}, {8}, {"Region"}, {30});
+  auto sat = Satisfies(hotel.relation, trivial, mopts);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+
+  DdStatement dd1 = Make({"Address"}, {8}, {"Region"}, {4});
+  auto violations = CountViolations(hotel.relation, dd1, mopts);
+  ASSERT_TRUE(violations.ok());
+  EXPECT_EQ(*violations, 2u);  // (t4,t6) and (t5,t6)
+  auto sat2 = Satisfies(hotel.relation, dd1, mopts);
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_FALSE(*sat2);
+}
+
+TEST(SatisfiesTest, ImplicationIsSoundOnData) {
+  // If a holds on the instance and a => b, then b holds too.
+  GeneratedData hotel = HotelExample();
+  MatchingOptions mopts;
+  mopts.dmax = 30;
+  DdStatement a = Make({"Address"}, {2}, {"Region"}, {5});
+  DdStatement b = Make({"Address"}, {1}, {"Region"}, {8});
+  ASSERT_TRUE(Implies(a, b, /*dmax=*/30));
+  auto sat_a = Satisfies(hotel.relation, a, mopts);
+  ASSERT_TRUE(sat_a.ok());
+  if (*sat_a) {
+    auto sat_b = Satisfies(hotel.relation, b, mopts);
+    ASSERT_TRUE(sat_b.ok());
+    EXPECT_TRUE(*sat_b);
+  }
+}
+
+TEST(SatisfiesTest, RejectsInvalidStatement) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions mopts;
+  EXPECT_FALSE(
+      CountViolations(hotel.relation, Make({"Address"}, {99}, {"Region"}, {3}),
+                      mopts)
+          .ok());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,61 @@
+#include "data/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+Relation MakeRelation() {
+  Schema s({{"a", AttributeType::kString}, {"b", AttributeType::kString}});
+  Relation r(s);
+  EXPECT_TRUE(r.AddRow({"1", "x"}).ok());
+  EXPECT_TRUE(r.AddRow({"2", "y"}).ok());
+  EXPECT_TRUE(r.AddRow({"3", "z"}).ok());
+  return r;
+}
+
+TEST(RelationTest, AddRowAndAccess) {
+  Relation r = MakeRelation();
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.num_attributes(), 2u);
+  EXPECT_EQ(r.at(1, 1), "y");
+  EXPECT_EQ(r.row(2), (std::vector<std::string>{"3", "z"}));
+}
+
+TEST(RelationTest, AddRowRejectsWrongArity) {
+  Relation r = MakeRelation();
+  EXPECT_EQ(r.AddRow({"only-one"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.AddRow({"1", "2", "3"}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.num_rows(), 3u);
+}
+
+TEST(RelationTest, ValueByName) {
+  Relation r = MakeRelation();
+  auto v = r.Value(0, "b");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), "x");
+  EXPECT_EQ(r.Value(0, "nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.Value(99, "a").status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(RelationTest, MutableAccess) {
+  Relation r = MakeRelation();
+  r.at(0, 0) = "updated";
+  EXPECT_EQ(r.at(0, 0), "updated");
+}
+
+TEST(RelationTest, SliceCopiesRange) {
+  Relation r = MakeRelation();
+  auto s = r.Slice(1, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_rows(), 2u);
+  EXPECT_EQ(s->at(0, 0), "2");
+  EXPECT_FALSE(r.Slice(2, 1).ok());
+  EXPECT_FALSE(r.Slice(0, 4).ok());
+  auto empty = r.Slice(1, 1);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,62 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dd {
+namespace {
+
+TEST(SchemaTest, ConstructFromAttributeList) {
+  Schema s({{"name", AttributeType::kString}, {"age", AttributeType::kNumeric}});
+  EXPECT_EQ(s.num_attributes(), 2u);
+  EXPECT_EQ(s.attribute(0).name, "name");
+  EXPECT_EQ(s.attribute(1).type, AttributeType::kNumeric);
+}
+
+TEST(SchemaTest, AddAttributeRejectsDuplicates) {
+  Schema s;
+  EXPECT_TRUE(s.AddAttribute({"a", AttributeType::kString}).ok());
+  Status dup = s.AddAttribute({"a", AttributeType::kNumeric});
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(s.num_attributes(), 1u);
+}
+
+TEST(SchemaTest, IndexOfFindsAndFails) {
+  Schema s({{"x", AttributeType::kString}, {"y", AttributeType::kString}});
+  auto found = s.IndexOf("y");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), 1u);
+  EXPECT_EQ(s.IndexOf("z").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(s.Contains("x"));
+  EXPECT_FALSE(s.Contains("X"));  // Case-sensitive.
+}
+
+TEST(SchemaTest, ResolveAllPreservesOrder) {
+  Schema s({{"a", AttributeType::kString},
+            {"b", AttributeType::kString},
+            {"c", AttributeType::kString}});
+  auto idx = s.ResolveAll({"c", "a"});
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), (std::vector<std::size_t>{2, 0}));
+  EXPECT_FALSE(s.ResolveAll({"a", "nope"}).ok());
+}
+
+TEST(SchemaTest, ToStringListsNameAndType) {
+  Schema s({{"a", AttributeType::kString}, {"n", AttributeType::kNumeric}});
+  EXPECT_EQ(s.ToString(), "a:string, n:numeric");
+}
+
+TEST(SchemaTest, EqualityComparesNamesAndTypes) {
+  Schema a({{"x", AttributeType::kString}});
+  Schema b({{"x", AttributeType::kString}});
+  Schema c({{"x", AttributeType::kNumeric}});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(AttributeTypeTest, Names) {
+  EXPECT_EQ(AttributeTypeName(AttributeType::kString), "string");
+  EXPECT_EQ(AttributeTypeName(AttributeType::kNumeric), "numeric");
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,107 @@
+#include "matching/serialization.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/determiner.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+void ExpectEqualMatching(const MatchingRelation& a, const MatchingRelation& b) {
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  ASSERT_EQ(a.num_attributes(), b.num_attributes());
+  EXPECT_EQ(a.dmax(), b.dmax());
+  EXPECT_EQ(a.attribute_names(), b.attribute_names());
+  EXPECT_EQ(a.pairs(), b.pairs());
+  for (std::size_t c = 0; c < a.num_attributes(); ++c) {
+    EXPECT_EQ(a.column(c), b.column(c)) << "column " << c;
+  }
+}
+
+TEST(SerializationTest, RoundTripInMemory) {
+  MatchingRelation m = testutil::RandomMatching(3, 9, 500, 42);
+  std::string bytes = SerializeMatchingRelation(m);
+  auto back = DeserializeMatchingRelation(bytes);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectEqualMatching(m, *back);
+}
+
+TEST(SerializationTest, RoundTripEmptyRelation) {
+  MatchingRelation m({"only"}, 4);
+  auto back = DeserializeMatchingRelation(SerializeMatchingRelation(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_tuples(), 0u);
+  EXPECT_EQ(back->attribute_names(), (std::vector<std::string>{"only"}));
+}
+
+TEST(SerializationTest, RoundTripViaFile) {
+  MatchingRelation m = testutil::HotelMatching(10);
+  const std::string path = ::testing::TempDir() + "/dd_matching_test.ddmr";
+  ASSERT_TRUE(WriteMatchingFile(m, path).ok());
+  auto back = ReadMatchingFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectEqualMatching(m, *back);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  std::string bytes = SerializeMatchingRelation(testutil::RandomMatching(2, 5, 20, 1));
+  bytes[0] = 'X';
+  EXPECT_FALSE(DeserializeMatchingRelation(bytes).ok());
+}
+
+TEST(SerializationTest, TruncationRejectedAtEveryPrefix) {
+  std::string bytes =
+      SerializeMatchingRelation(testutil::RandomMatching(2, 5, 20, 1));
+  // Every strict prefix must fail cleanly (parse-don't-crash).
+  for (std::size_t len : {0ul, 3ul, 8ul, 15ul, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    EXPECT_FALSE(
+        DeserializeMatchingRelation(std::string_view(bytes).substr(0, len))
+            .ok())
+        << "prefix " << len;
+  }
+}
+
+TEST(SerializationTest, TrailingGarbageRejected) {
+  std::string bytes =
+      SerializeMatchingRelation(testutil::RandomMatching(2, 5, 20, 1));
+  bytes += "extra";
+  EXPECT_FALSE(DeserializeMatchingRelation(bytes).ok());
+}
+
+TEST(SerializationTest, CorruptLevelRejected) {
+  MatchingRelation m({"a"}, 3);
+  m.AddTuple(0, 1, {2});
+  std::string bytes = SerializeMatchingRelation(m);
+  bytes.back() = static_cast<char>(200);  // Level 200 > dmax 3.
+  EXPECT_FALSE(DeserializeMatchingRelation(bytes).ok());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_EQ(ReadMatchingFile("/no/such/dd_file.ddmr").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializationTest, LoadedRelationDrivesDetermination) {
+  MatchingRelation m = testutil::RandomMatching(2, 6, 400, 9);
+  auto back = DeserializeMatchingRelation(SerializeMatchingRelation(m));
+  ASSERT_TRUE(back.ok());
+  RuleSpec rule{{"a0"}, {"a1"}};
+  DetermineOptions opts;
+  auto original = DetermineThresholds(m, rule, opts);
+  auto loaded = DetermineThresholds(*back, rule, opts);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(original->patterns.size(), loaded->patterns.size());
+  if (!original->patterns.empty()) {
+    EXPECT_NEAR(original->patterns[0].utility, loaded->patterns[0].utility,
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace dd

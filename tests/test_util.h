@@ -1,0 +1,73 @@
+// Shared helpers for the dd test binaries.
+
+#ifndef DD_TESTS_TEST_UTIL_H_
+#define DD_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rule.h"
+#include "data/generators.h"
+#include "matching/builder.h"
+#include "matching/matching_relation.h"
+
+namespace dd::testutil {
+
+// A synthetic matching relation with explicit level columns — handy for
+// exact-count assertions without running metrics.
+inline MatchingRelation MakeMatching(
+    std::vector<std::string> attrs, int dmax,
+    const std::vector<std::vector<Level>>& rows) {
+  MatchingRelation m(std::move(attrs), dmax);
+  std::uint32_t next = 0;
+  for (const auto& row : rows) {
+    m.AddTuple(next, next + 1, row);
+    next += 2;
+  }
+  return m;
+}
+
+// A pseudo-random matching relation for property tests.
+inline MatchingRelation RandomMatching(std::size_t attrs, int dmax,
+                                       std::size_t tuples,
+                                       std::uint64_t seed) {
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < attrs; ++a) names.push_back("a" + std::to_string(a));
+  MatchingRelation m(std::move(names), dmax);
+  Rng rng(seed);
+  std::vector<Level> levels(attrs);
+  for (std::size_t t = 0; t < tuples; ++t) {
+    for (auto& l : levels) {
+      // Mildly correlated levels: column 0 drives the rest, so real
+      // dependencies exist and confidences are non-trivial.
+      l = static_cast<Level>(rng.NextBounded(static_cast<std::uint64_t>(dmax) + 1));
+    }
+    // Make later columns correlate with column 0 half of the time.
+    for (std::size_t a = 1; a < attrs; ++a) {
+      if (rng.NextBool(0.5)) {
+        int v = static_cast<int>(levels[0]) +
+                static_cast<int>(rng.NextBounded(3)) - 1;
+        if (v < 0) v = 0;
+        if (v > dmax) v = dmax;
+        levels[a] = static_cast<Level>(v);
+      }
+    }
+    m.AddTuple(static_cast<std::uint32_t>(2 * t),
+               static_cast<std::uint32_t>(2 * t + 1), levels);
+  }
+  return m;
+}
+
+// The Hotel example matched over (Address -> Region), paper dd1 setting.
+inline MatchingRelation HotelMatching(int dmax = 10) {
+  GeneratedData hotel = HotelExample();
+  MatchingOptions opts;
+  opts.dmax = dmax;
+  auto m = BuildMatchingRelation(hotel.relation, {"Address", "Region"}, opts);
+  return std::move(m).value();
+}
+
+}  // namespace dd::testutil
+
+#endif  // DD_TESTS_TEST_UTIL_H_

@@ -1,0 +1,182 @@
+// Cross-algorithm consistency on the four paper rules at small scale:
+// the same workloads the benchmark harnesses run, with correctness
+// assertions instead of timings.
+
+#include <gtest/gtest.h>
+
+#include "core/determiner.h"
+#include "data/generators.h"
+#include "matching/builder.h"
+
+namespace dd {
+namespace {
+
+struct Workload {
+  const char* name;
+  RuleSpec rule;
+  MatchingRelation matching;
+};
+
+Workload MakeWorkload(int rule_number) {
+  MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.max_pairs = 4000;
+  switch (rule_number) {
+    case 1: {
+      CoraOptions gopts;
+      gopts.num_entities = 40;
+      GeneratedData data = GenerateCora(gopts);
+      RuleSpec rule{{"author", "title"}, {"venue", "year"}};
+      mopts.metric_overrides["year"] = "qgram2";
+      auto m = BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+      return {"rule1", rule, std::move(m).value()};
+    }
+    case 2: {
+      CoraOptions gopts;
+      gopts.num_entities = 40;
+      GeneratedData data = GenerateCora(gopts);
+      RuleSpec rule{{"venue"}, {"address", "publisher", "editor"}};
+      auto m = BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+      return {"rule2", rule, std::move(m).value()};
+    }
+    case 3: {
+      RestaurantOptions gopts;
+      gopts.num_entities = 40;
+      GeneratedData data = GenerateRestaurant(gopts);
+      RuleSpec rule{{"name", "address"}, {"city", "type"}};
+      auto m = BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+      return {"rule3", rule, std::move(m).value()};
+    }
+    default: {
+      CiteseerOptions gopts;
+      gopts.num_entities = 40;
+      GeneratedData data = GenerateCiteseer(gopts);
+      RuleSpec rule{{"address", "affiliation", "description"}, {"subject"}};
+      auto m = BuildMatchingRelation(data.relation, rule.AllAttributes(), mopts);
+      return {"rule4", rule, std::move(m).value()};
+    }
+  }
+}
+
+class PaperRuleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PaperRuleTest, AllAlgorithmCombinationsAgree) {
+  Workload w = MakeWorkload(GetParam());
+  double reference = -1.0;
+  for (LhsAlgorithm lhs : {LhsAlgorithm::kDa, LhsAlgorithm::kDap}) {
+    for (RhsAlgorithm rhs : {RhsAlgorithm::kPa, RhsAlgorithm::kPap}) {
+      DetermineOptions opts;
+      opts.lhs_algorithm = lhs;
+      opts.rhs_algorithm = rhs;
+      auto result = DetermineThresholds(w.matching, w.rule, opts);
+      ASSERT_TRUE(result.ok()) << w.name;
+      ASSERT_FALSE(result->patterns.empty()) << w.name;
+      if (reference < 0.0) {
+        reference = result->patterns[0].utility;
+      } else {
+        EXPECT_NEAR(result->patterns[0].utility, reference, 1e-9)
+            << w.name << " " << LhsAlgorithmName(lhs) << "+"
+            << RhsAlgorithmName(rhs);
+      }
+    }
+  }
+  EXPECT_GT(reference, 0.0) << w.name;
+}
+
+TEST_P(PaperRuleTest, DapPrunesAtLeastAsMuchAsDaSameOrder) {
+  Workload w = MakeWorkload(GetParam());
+  for (ProcessingOrder order :
+       {ProcessingOrder::kMidFirst, ProcessingOrder::kTopFirst}) {
+    DetermineOptions da;
+    da.lhs_algorithm = LhsAlgorithm::kDa;
+    da.rhs_algorithm = RhsAlgorithm::kPap;
+    da.order = order;
+    DetermineOptions dap = da;
+    dap.lhs_algorithm = LhsAlgorithm::kDap;
+    auto a = DetermineThresholds(w.matching, w.rule, da);
+    auto b = DetermineThresholds(w.matching, w.rule, dap);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_LE(b->stats.rhs.evaluated, a->stats.rhs.evaluated)
+        << w.name << " " << ProcessingOrderName(order);
+  }
+}
+
+TEST_P(PaperRuleTest, TopLAnswersArePrefixesOfLargerL) {
+  Workload w = MakeWorkload(GetParam());
+  DetermineOptions one;
+  one.top_l = 1;
+  DetermineOptions five;
+  five.top_l = 5;
+  auto a = DetermineThresholds(w.matching, w.rule, one);
+  auto b = DetermineThresholds(w.matching, w.rule, five);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->patterns.empty());
+  ASSERT_FALSE(b->patterns.empty());
+  // The best answer is identical regardless of l (up to utility ties).
+  EXPECT_NEAR(a->patterns[0].utility, b->patterns[0].utility, 1e-9) << w.name;
+  EXPECT_GE(b->patterns.size(), a->patterns.size());
+}
+
+TEST_P(PaperRuleTest, GridProviderReproducesScanAnswers) {
+  Workload w = MakeWorkload(GetParam());
+  DetermineOptions scan;
+  DetermineOptions grid;
+  grid.provider = "grid";
+  auto a = DetermineThresholds(w.matching, w.rule, scan);
+  auto b = DetermineThresholds(w.matching, w.rule, grid);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->patterns.empty());
+  ASSERT_FALSE(b->patterns.empty());
+  EXPECT_NEAR(a->patterns[0].utility, b->patterns[0].utility, 1e-9) << w.name;
+}
+
+TEST_P(PaperRuleTest, ParallelScanReproducesSerialAnswers) {
+  Workload w = MakeWorkload(GetParam());
+  DetermineOptions serial;
+  DetermineOptions parallel;
+  parallel.provider_threads = 4;
+  auto a = DetermineThresholds(w.matching, w.rule, serial);
+  auto b = DetermineThresholds(w.matching, w.rule, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(a->patterns.empty());
+  ASSERT_FALSE(b->patterns.empty());
+  EXPECT_NEAR(a->patterns[0].utility, b->patterns[0].utility, 1e-12) << w.name;
+}
+
+// The measures stored on every returned pattern must agree with an
+// independent recomputation from the matching relation — i.e. the
+// algorithms never report stale or mixed-up statistics.
+TEST_P(PaperRuleTest, ReportedMeasuresMatchIndependentRecomputation) {
+  Workload w = MakeWorkload(GetParam());
+  DetermineOptions opts;
+  opts.top_l = 5;
+  auto result = DetermineThresholds(w.matching, w.rule, opts);
+  ASSERT_TRUE(result.ok());
+  auto resolved = ResolveRule(w.matching, w.rule);
+  ASSERT_TRUE(resolved.ok());
+  ScanMeasureProvider provider(w.matching, *resolved);
+  UtilityOptions uopts;
+  uopts.prior_mean_cq = result->prior_mean_cq;
+  for (const auto& p : result->patterns) {
+    Measures fresh = ComputeMeasures(&provider, p.pattern, w.matching.dmax());
+    EXPECT_EQ(p.measures.lhs_count, fresh.lhs_count) << w.name;
+    EXPECT_EQ(p.measures.xy_count, fresh.xy_count) << w.name;
+    EXPECT_NEAR(p.measures.confidence, fresh.confidence, 1e-12) << w.name;
+    EXPECT_NEAR(p.measures.quality, fresh.quality, 1e-12) << w.name;
+    EXPECT_NEAR(p.utility,
+                ExpectedUtility(fresh.total, fresh.lhs_count,
+                                fresh.confidence, fresh.quality, uopts),
+                1e-12)
+        << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FourPaperRules, PaperRuleTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dd

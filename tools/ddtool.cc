@@ -1,0 +1,355 @@
+// ddtool — command-line front end for the ddthreshold library.
+//
+//   ddtool generate  --dataset cora --entities 200 --out clean.csv
+//                    [--seed 42] [--dirty-out dirty.csv --truth-out t.csv
+//                     --corrupt-fraction 0.08 --corrupt-attrs city]
+//   ddtool determine --input clean.csv --lhs author,title --rhs venue,year
+//                    [--dmax 10] [--max-pairs 100000] [--top 5]
+//                    [--algo DAP+PAP|DA+PAP|DA+PA] [--order top|mid]
+//                    [--metric attr=levenshtein ...] [--provider scan|grid]
+//                    [--collapse] [--json]
+//                    [--save-matching m.ddmr | --load-matching m.ddmr]
+//                    (persist / reuse the pairwise matching relation,
+//                     the expensive step, across invocations)
+//   ddtool detect    --input dirty.csv --lhs a,b --rhs c --pattern "4,2->3"
+//                    [--dmax 10] [--metric ...] [--out pairs.csv]
+//   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
+//                    [--dmax 10] [--max-pairs 50000]
+//
+// Exit status 0 on success, 1 on bad usage or data errors.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "core/determiner.h"
+#include "core/result_filter.h"
+#include "core/result_io.h"
+#include "data/corruptor.h"
+#include "data/csv.h"
+#include "data/generators.h"
+#include "detect/violation_detector.h"
+#include "discover/rule_explorer.h"
+#include "matching/builder.h"
+#include "matching/serialization.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ddtool <generate|determine|detect|discover> [flags]\n"
+               "see the header of tools/ddtool.cc or README.md for flags\n");
+  return 1;
+}
+
+int Fail(const dd::Status& status) {
+  std::fprintf(stderr, "ddtool: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Applies repeated --metric attr=name flags onto matching options.
+dd::Status ApplyMetricFlags(const dd::ArgParser& args,
+                            dd::MatchingOptions* options) {
+  for (const auto& spec : args.GetAll("metric")) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+      return dd::Status::InvalidArgument("--metric expects attr=name, got '" +
+                                         spec + "'");
+    }
+    options->metric_overrides[spec.substr(0, eq)] = spec.substr(eq + 1);
+  }
+  return dd::Status::Ok();
+}
+
+dd::Result<dd::MatchingOptions> MatchingFromFlags(const dd::ArgParser& args) {
+  dd::MatchingOptions options;
+  DD_ASSIGN_OR_RETURN(std::int64_t dmax, args.GetInt("dmax", 10));
+  DD_ASSIGN_OR_RETURN(std::int64_t max_pairs, args.GetInt("max-pairs", 0));
+  DD_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 1));
+  options.dmax = static_cast<int>(dmax);
+  options.max_pairs = static_cast<std::size_t>(max_pairs);
+  options.seed = static_cast<std::uint64_t>(seed);
+  DD_RETURN_IF_ERROR(ApplyMetricFlags(args, &options));
+  return options;
+}
+
+// Parses "4,2->3,1" into a Pattern with the given arities.
+dd::Result<dd::Pattern> ParsePattern(const std::string& text,
+                                     std::size_t lhs_size,
+                                     std::size_t rhs_size) {
+  const std::size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return dd::Status::InvalidArgument(
+        "--pattern expects 'x1,x2->y1,y2', got '" + text + "'");
+  }
+  auto parse_side = [](const std::string& side,
+                       std::size_t expected) -> dd::Result<dd::Levels> {
+    dd::Levels levels;
+    for (const auto& token : dd::SplitFlagList(side)) {
+      double value = 0.0;
+      if (!dd::ParseDouble(token, &value) || value < 0) {
+        return dd::Status::InvalidArgument("bad threshold '" + token + "'");
+      }
+      levels.push_back(static_cast<int>(value));
+    }
+    if (levels.size() != expected) {
+      return dd::Status::InvalidArgument(dd::StrFormat(
+          "pattern side has %zu thresholds, rule needs %zu", levels.size(),
+          expected));
+    }
+    return levels;
+  };
+  dd::Pattern pattern;
+  DD_ASSIGN_OR_RETURN(pattern.lhs, parse_side(text.substr(0, arrow), lhs_size));
+  DD_ASSIGN_OR_RETURN(pattern.rhs, parse_side(text.substr(arrow + 2), rhs_size));
+  return pattern;
+}
+
+int RunGenerate(const dd::ArgParser& args) {
+  const std::string dataset = args.GetString("dataset", "restaurant");
+  const std::string out = args.GetString("out");
+  if (out.empty()) return Fail(dd::Status::InvalidArgument("--out required"));
+  auto entities = args.GetInt("entities", 200);
+  if (!entities.ok()) return Fail(entities.status());
+  auto seed = args.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+
+  dd::GeneratedData data;
+  if (dataset == "hotel") {
+    data = dd::HotelExample();
+  } else if (dataset == "cora") {
+    dd::CoraOptions options;
+    options.num_entities = static_cast<std::size_t>(*entities);
+    options.seed = static_cast<std::uint64_t>(*seed);
+    data = dd::GenerateCora(options);
+  } else if (dataset == "restaurant") {
+    dd::RestaurantOptions options;
+    options.num_entities = static_cast<std::size_t>(*entities);
+    options.seed = static_cast<std::uint64_t>(*seed);
+    data = dd::GenerateRestaurant(options);
+  } else if (dataset == "citeseer") {
+    dd::CiteseerOptions options;
+    options.num_entities = static_cast<std::size_t>(*entities);
+    options.seed = static_cast<std::uint64_t>(*seed);
+    data = dd::GenerateCiteseer(options);
+  } else {
+    return Fail(dd::Status::InvalidArgument(
+        "--dataset must be hotel|cora|restaurant|citeseer"));
+  }
+
+  dd::Status write = dd::WriteCsvFile(data.relation, out);
+  if (!write.ok()) return Fail(write);
+  std::printf("wrote %zu rows to %s\n", data.relation.num_rows(), out.c_str());
+
+  const std::string dirty_out = args.GetString("dirty-out");
+  if (!dirty_out.empty()) {
+    auto fraction = args.GetDouble("corrupt-fraction", 0.05);
+    if (!fraction.ok()) return Fail(fraction.status());
+    std::vector<std::string> attrs =
+        dd::SplitFlagList(args.GetString("corrupt-attrs"));
+    if (attrs.empty()) {
+      return Fail(dd::Status::InvalidArgument(
+          "--dirty-out requires --corrupt-attrs a,b"));
+    }
+    dd::CorruptorOptions coptions;
+    coptions.corrupt_fraction = *fraction;
+    coptions.seed = static_cast<std::uint64_t>(*seed) + 1;
+    auto corrupted = dd::InjectViolations(data, attrs, coptions);
+    if (!corrupted.ok()) return Fail(corrupted.status());
+    write = dd::WriteCsvFile(corrupted->dirty, dirty_out);
+    if (!write.ok()) return Fail(write);
+    std::printf("wrote dirty copy (%zu corrupted rows) to %s\n",
+                corrupted->corrupted_rows.size(), dirty_out.c_str());
+
+    const std::string truth_out = args.GetString("truth-out");
+    if (!truth_out.empty()) {
+      dd::Schema schema({{"row_i", dd::AttributeType::kNumeric},
+                         {"row_j", dd::AttributeType::kNumeric}});
+      dd::Relation truth(schema);
+      for (const auto& [i, j] : corrupted->truth_pairs) {
+        dd::Status s = truth.AddRow(
+            {dd::StrFormat("%u", i), dd::StrFormat("%u", j)});
+        if (!s.ok()) return Fail(s);
+      }
+      write = dd::WriteCsvFile(truth, truth_out);
+      if (!write.ok()) return Fail(write);
+      std::printf("wrote %zu truth pairs to %s\n",
+                  corrupted->truth_pairs.size(), truth_out.c_str());
+    }
+  }
+  return 0;
+}
+
+int RunDetermine(const dd::ArgParser& args) {
+  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
+  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
+  if (lhs.empty() || rhs.empty()) {
+    return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
+  }
+  dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+
+  dd::Result<dd::MatchingRelation> matching =
+      dd::Status::Internal("matching not initialized");
+  const std::string load_matching = args.GetString("load-matching");
+  if (!load_matching.empty()) {
+    matching = dd::ReadMatchingFile(load_matching);
+  } else {
+    const std::string input = args.GetString("input");
+    if (input.empty()) {
+      return Fail(dd::Status::InvalidArgument(
+          "--input (CSV) or --load-matching (.ddmr) required"));
+    }
+    auto relation = dd::ReadCsvFile(input);
+    if (!relation.ok()) return Fail(relation.status());
+    auto moptions = MatchingFromFlags(args);
+    if (!moptions.ok()) return Fail(moptions.status());
+    matching =
+        dd::BuildMatchingRelation(*relation, rule.AllAttributes(), *moptions);
+  }
+  if (!matching.ok()) return Fail(matching.status());
+  std::printf("matching relation: %zu tuples (dmax=%d)\n",
+              matching->num_tuples(), matching->dmax());
+  const std::string save_matching = args.GetString("save-matching");
+  if (!save_matching.empty()) {
+    dd::Status save = dd::WriteMatchingFile(*matching, save_matching);
+    if (!save.ok()) return Fail(save);
+    std::printf("saved matching relation to %s\n", save_matching.c_str());
+  }
+
+  dd::DetermineOptions doptions;
+  auto top = args.GetInt("top", 5);
+  if (!top.ok()) return Fail(top.status());
+  doptions.top_l = static_cast<std::size_t>(*top);
+  doptions.provider = args.GetString("provider", "scan");
+  const std::string algo = args.GetString("algo", "DAP+PAP");
+  if (algo == "DA+PA") {
+    doptions.lhs_algorithm = dd::LhsAlgorithm::kDa;
+    doptions.rhs_algorithm = dd::RhsAlgorithm::kPa;
+  } else if (algo == "DA+PAP") {
+    doptions.lhs_algorithm = dd::LhsAlgorithm::kDa;
+    doptions.rhs_algorithm = dd::RhsAlgorithm::kPap;
+    doptions.order = dd::ProcessingOrder::kMidFirst;
+  } else if (algo == "DAP+PAP") {
+    doptions.lhs_algorithm = dd::LhsAlgorithm::kDap;
+    doptions.rhs_algorithm = dd::RhsAlgorithm::kPap;
+  } else {
+    return Fail(dd::Status::InvalidArgument("--algo must be DA+PA|DA+PAP|DAP+PAP"));
+  }
+  if (args.GetString("order", "top") == "mid") {
+    doptions.order = dd::ProcessingOrder::kMidFirst;
+  }
+
+  auto result = dd::DetermineThresholds(*matching, rule, doptions);
+  if (!result.ok()) return Fail(result.status());
+  if (args.Has("collapse")) {
+    result->patterns = dd::CollapseEquivalent(std::move(result->patterns));
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n", dd::DetermineResultToJson(*result, rule).c_str());
+    return 0;
+  }
+  std::printf("determined %zu pattern(s) in %.3fs (pruning rate %.3f, prior "
+              "CQ %.3f)\n",
+              result->patterns.size(), result->elapsed_seconds,
+              result->stats.PruningRate(), result->prior_mean_cq);
+  std::printf("%-30s %8s %8s %8s %6s %9s\n", "pattern", "D", "C", "S", "Q",
+              "utility");
+  for (const auto& p : result->patterns) {
+    std::printf("%-30s %8.4f %8.4f %8.4f %6.2f %9.4f\n",
+                dd::PatternToString(p.pattern).c_str(), p.measures.d,
+                p.measures.confidence, p.measures.support, p.measures.quality,
+                p.utility);
+  }
+  return 0;
+}
+
+int RunDetect(const dd::ArgParser& args) {
+  const std::string input = args.GetString("input");
+  if (input.empty()) return Fail(dd::Status::InvalidArgument("--input required"));
+  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
+  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
+  if (lhs.empty() || rhs.empty()) {
+    return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
+  }
+  auto relation = dd::ReadCsvFile(input);
+  if (!relation.ok()) return Fail(relation.status());
+  auto moptions = MatchingFromFlags(args);
+  if (!moptions.ok()) return Fail(moptions.status());
+  auto pattern =
+      ParsePattern(args.GetString("pattern"), lhs.size(), rhs.size());
+  if (!pattern.ok()) return Fail(pattern.status());
+
+  dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+  auto found = dd::DetectViolations(*relation, rule, *pattern, *moptions);
+  if (!found.ok()) return Fail(found.status());
+  std::printf("%zu violating pair(s)\n", found->size());
+
+  const std::string out = args.GetString("out");
+  if (!out.empty()) {
+    dd::Schema schema({{"row_i", dd::AttributeType::kNumeric},
+                       {"row_j", dd::AttributeType::kNumeric}});
+    dd::Relation pairs(schema);
+    for (const auto& [i, j] : *found) {
+      dd::Status s =
+          pairs.AddRow({dd::StrFormat("%u", i), dd::StrFormat("%u", j)});
+      if (!s.ok()) return Fail(s);
+    }
+    dd::Status write = dd::WriteCsvFile(pairs, out);
+    if (!write.ok()) return Fail(write);
+    std::printf("wrote pairs to %s\n", out.c_str());
+  } else {
+    for (std::size_t k = 0; k < found->size() && k < 20; ++k) {
+      std::printf("  (%u, %u)\n", (*found)[k].first, (*found)[k].second);
+    }
+    if (found->size() > 20) std::printf("  ... (%zu more)\n", found->size() - 20);
+  }
+  return 0;
+}
+
+int RunDiscover(const dd::ArgParser& args) {
+  const std::string input = args.GetString("input");
+  if (input.empty()) return Fail(dd::Status::InvalidArgument("--input required"));
+  auto relation = dd::ReadCsvFile(input);
+  if (!relation.ok()) return Fail(relation.status());
+
+  dd::ExploreOptions options;
+  auto moptions = MatchingFromFlags(args);
+  if (!moptions.ok()) return Fail(moptions.status());
+  options.matching = *moptions;
+  if (options.matching.max_pairs == 0) options.matching.max_pairs = 50000;
+  auto max_lhs = args.GetInt("max-lhs", 2);
+  if (!max_lhs.ok()) return Fail(max_lhs.status());
+  options.max_lhs_size = static_cast<std::size_t>(*max_lhs);
+  auto top = args.GetInt("top", 10);
+  if (!top.ok()) return Fail(top.status());
+  options.top_rules = static_cast<std::size_t>(*top);
+
+  auto rules = dd::DiscoverRules(*relation, options);
+  if (!rules.ok()) return Fail(rules.status());
+  std::printf("%zu rule(s):\n", rules->size());
+  for (const auto& r : *rules) {
+    std::printf("  [%s] -> [%s]  pattern %s  C=%.3f Q=%.2f utility=%.4f\n",
+                dd::Join(r.rule.lhs, ", ").c_str(),
+                dd::Join(r.rule.rhs, ", ").c_str(),
+                dd::PatternToString(r.best.pattern).c_str(),
+                r.best.measures.confidence, r.best.measures.quality,
+                r.best.utility);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  dd::ArgParser args(argc, argv, 2);
+  if (command == "generate") return RunGenerate(args);
+  if (command == "determine") return RunDetermine(args);
+  if (command == "detect") return RunDetect(args);
+  if (command == "discover") return RunDiscover(args);
+  return Usage();
+}
