@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_prior"
+  "../bench/ablation_prior.pdb"
+  "CMakeFiles/ablation_prior.dir/ablation_prior.cc.o"
+  "CMakeFiles/ablation_prior.dir/ablation_prior.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

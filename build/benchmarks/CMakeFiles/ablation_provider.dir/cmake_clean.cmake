@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_provider"
+  "../bench/ablation_provider.pdb"
+  "CMakeFiles/ablation_provider.dir/ablation_provider.cc.o"
+  "CMakeFiles/ablation_provider.dir/ablation_provider.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dd_bench_util.dir/bench_util.cc.o.d"
+  "libdd_bench_util.a"
+  "libdd_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_scalability"
+  "../bench/fig2_scalability.pdb"
+  "CMakeFiles/fig2_scalability.dir/fig2_scalability.cc.o"
+  "CMakeFiles/fig2_scalability.dir/fig2_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_dependent"
+  "../bench/fig3_dependent.pdb"
+  "CMakeFiles/fig3_dependent.dir/fig3_dependent.cc.o"
+  "CMakeFiles/fig3_dependent.dir/fig3_dependent.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

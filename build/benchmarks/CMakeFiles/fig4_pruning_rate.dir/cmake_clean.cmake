@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_pruning_rate"
+  "../bench/fig4_pruning_rate.pdb"
+  "CMakeFiles/fig4_pruning_rate.dir/fig4_pruning_rate.cc.o"
+  "CMakeFiles/fig4_pruning_rate.dir/fig4_pruning_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pruning_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

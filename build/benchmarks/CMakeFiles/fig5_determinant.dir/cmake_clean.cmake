@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_determinant"
+  "../bench/fig5_determinant.pdb"
+  "CMakeFiles/fig5_determinant.dir/fig5_determinant.cc.o"
+  "CMakeFiles/fig5_determinant.dir/fig5_determinant.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_determinant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

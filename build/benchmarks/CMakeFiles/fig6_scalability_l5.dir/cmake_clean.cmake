@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_scalability_l5"
+  "../bench/fig6_scalability_l5.pdb"
+  "CMakeFiles/fig6_scalability_l5.dir/fig6_scalability_l5.cc.o"
+  "CMakeFiles/fig6_scalability_l5.dir/fig6_scalability_l5.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scalability_l5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_counting"
+  "../bench/micro_counting.pdb"
+  "CMakeFiles/micro_counting.dir/micro_counting.cc.o"
+  "CMakeFiles/micro_counting.dir/micro_counting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_matching"
+  "../bench/micro_matching.pdb"
+  "CMakeFiles/micro_matching.dir/micro_matching.cc.o"
+  "CMakeFiles/micro_matching.dir/micro_matching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

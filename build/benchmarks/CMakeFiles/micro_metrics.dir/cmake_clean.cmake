@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_metrics"
+  "../bench/micro_metrics.pdb"
+  "CMakeFiles/micro_metrics.dir/micro_metrics.cc.o"
+  "CMakeFiles/micro_metrics.dir/micro_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_effectiveness"
+  "../bench/table3_effectiveness.pdb"
+  "CMakeFiles/table3_effectiveness.dir/table3_effectiveness.cc.o"
+  "CMakeFiles/table3_effectiveness.dir/table3_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_effectiveness"
+  "../bench/table4_effectiveness.pdb"
+  "CMakeFiles/table4_effectiveness.dir/table4_effectiveness.cc.o"
+  "CMakeFiles/table4_effectiveness.dir/table4_effectiveness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

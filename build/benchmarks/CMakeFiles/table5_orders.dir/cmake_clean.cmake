@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_orders"
+  "../bench/table5_orders.pdb"
+  "CMakeFiles/table5_orders.dir/table5_orders.cc.o"
+  "CMakeFiles/table5_orders.dir/table5_orders.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cora_discovery.dir/cora_discovery.cpp.o"
+  "CMakeFiles/cora_discovery.dir/cora_discovery.cpp.o.d"
+  "cora_discovery"
+  "cora_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cora_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

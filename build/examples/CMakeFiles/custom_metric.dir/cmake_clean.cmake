@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_metric.dir/custom_metric.cpp.o"
+  "CMakeFiles/custom_metric.dir/custom_metric.cpp.o.d"
+  "custom_metric"
+  "custom_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_discovery.dir/rule_discovery.cpp.o"
+  "CMakeFiles/rule_discovery.dir/rule_discovery.cpp.o.d"
+  "rule_discovery"
+  "rule_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

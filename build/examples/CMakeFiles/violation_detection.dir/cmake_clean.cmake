@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violation_detection.dir/violation_detection.cpp.o"
+  "CMakeFiles/violation_detection.dir/violation_detection.cpp.o.d"
+  "violation_detection"
+  "violation_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violation_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_common.dir/flags.cc.o"
+  "CMakeFiles/dd_common.dir/flags.cc.o.d"
+  "CMakeFiles/dd_common.dir/math_util.cc.o"
+  "CMakeFiles/dd_common.dir/math_util.cc.o.d"
+  "CMakeFiles/dd_common.dir/parallel.cc.o"
+  "CMakeFiles/dd_common.dir/parallel.cc.o.d"
+  "CMakeFiles/dd_common.dir/status.cc.o"
+  "CMakeFiles/dd_common.dir/status.cc.o.d"
+  "CMakeFiles/dd_common.dir/string_util.cc.o"
+  "CMakeFiles/dd_common.dir/string_util.cc.o.d"
+  "libdd_common.a"
+  "libdd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

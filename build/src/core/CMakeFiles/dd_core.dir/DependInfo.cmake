@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidate_lattice.cc" "src/core/CMakeFiles/dd_core.dir/candidate_lattice.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/candidate_lattice.cc.o.d"
+  "/root/repo/src/core/da.cc" "src/core/CMakeFiles/dd_core.dir/da.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/da.cc.o.d"
+  "/root/repo/src/core/determiner.cc" "src/core/CMakeFiles/dd_core.dir/determiner.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/determiner.cc.o.d"
+  "/root/repo/src/core/expected_utility.cc" "src/core/CMakeFiles/dd_core.dir/expected_utility.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/expected_utility.cc.o.d"
+  "/root/repo/src/core/grid_provider.cc" "src/core/CMakeFiles/dd_core.dir/grid_provider.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/grid_provider.cc.o.d"
+  "/root/repo/src/core/measures.cc" "src/core/CMakeFiles/dd_core.dir/measures.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/measures.cc.o.d"
+  "/root/repo/src/core/pa.cc" "src/core/CMakeFiles/dd_core.dir/pa.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/pa.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/dd_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/result_filter.cc" "src/core/CMakeFiles/dd_core.dir/result_filter.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/result_filter.cc.o.d"
+  "/root/repo/src/core/result_io.cc" "src/core/CMakeFiles/dd_core.dir/result_io.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/result_io.cc.o.d"
+  "/root/repo/src/core/rule.cc" "src/core/CMakeFiles/dd_core.dir/rule.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/rule.cc.o.d"
+  "/root/repo/src/core/scan_provider.cc" "src/core/CMakeFiles/dd_core.dir/scan_provider.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/scan_provider.cc.o.d"
+  "/root/repo/src/core/skyline.cc" "src/core/CMakeFiles/dd_core.dir/skyline.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/skyline.cc.o.d"
+  "/root/repo/src/core/special_cases.cc" "src/core/CMakeFiles/dd_core.dir/special_cases.cc.o" "gcc" "src/core/CMakeFiles/dd_core.dir/special_cases.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/dd_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/dd_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

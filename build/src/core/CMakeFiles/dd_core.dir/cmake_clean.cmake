@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_core.dir/candidate_lattice.cc.o"
+  "CMakeFiles/dd_core.dir/candidate_lattice.cc.o.d"
+  "CMakeFiles/dd_core.dir/da.cc.o"
+  "CMakeFiles/dd_core.dir/da.cc.o.d"
+  "CMakeFiles/dd_core.dir/determiner.cc.o"
+  "CMakeFiles/dd_core.dir/determiner.cc.o.d"
+  "CMakeFiles/dd_core.dir/expected_utility.cc.o"
+  "CMakeFiles/dd_core.dir/expected_utility.cc.o.d"
+  "CMakeFiles/dd_core.dir/grid_provider.cc.o"
+  "CMakeFiles/dd_core.dir/grid_provider.cc.o.d"
+  "CMakeFiles/dd_core.dir/measures.cc.o"
+  "CMakeFiles/dd_core.dir/measures.cc.o.d"
+  "CMakeFiles/dd_core.dir/pa.cc.o"
+  "CMakeFiles/dd_core.dir/pa.cc.o.d"
+  "CMakeFiles/dd_core.dir/pattern.cc.o"
+  "CMakeFiles/dd_core.dir/pattern.cc.o.d"
+  "CMakeFiles/dd_core.dir/result_filter.cc.o"
+  "CMakeFiles/dd_core.dir/result_filter.cc.o.d"
+  "CMakeFiles/dd_core.dir/result_io.cc.o"
+  "CMakeFiles/dd_core.dir/result_io.cc.o.d"
+  "CMakeFiles/dd_core.dir/rule.cc.o"
+  "CMakeFiles/dd_core.dir/rule.cc.o.d"
+  "CMakeFiles/dd_core.dir/scan_provider.cc.o"
+  "CMakeFiles/dd_core.dir/scan_provider.cc.o.d"
+  "CMakeFiles/dd_core.dir/skyline.cc.o"
+  "CMakeFiles/dd_core.dir/skyline.cc.o.d"
+  "CMakeFiles/dd_core.dir/special_cases.cc.o"
+  "CMakeFiles/dd_core.dir/special_cases.cc.o.d"
+  "libdd_core.a"
+  "libdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

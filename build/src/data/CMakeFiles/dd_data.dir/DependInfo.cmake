@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/citeseer_generator.cc" "src/data/CMakeFiles/dd_data.dir/citeseer_generator.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/citeseer_generator.cc.o.d"
+  "/root/repo/src/data/cora_generator.cc" "src/data/CMakeFiles/dd_data.dir/cora_generator.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/cora_generator.cc.o.d"
+  "/root/repo/src/data/corruptor.cc" "src/data/CMakeFiles/dd_data.dir/corruptor.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/corruptor.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/dd_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/hotel_generator.cc" "src/data/CMakeFiles/dd_data.dir/hotel_generator.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/hotel_generator.cc.o.d"
+  "/root/repo/src/data/perturb.cc" "src/data/CMakeFiles/dd_data.dir/perturb.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/perturb.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/dd_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/restaurant_generator.cc" "src/data/CMakeFiles/dd_data.dir/restaurant_generator.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/restaurant_generator.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/dd_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/dd_data.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_data.dir/citeseer_generator.cc.o"
+  "CMakeFiles/dd_data.dir/citeseer_generator.cc.o.d"
+  "CMakeFiles/dd_data.dir/cora_generator.cc.o"
+  "CMakeFiles/dd_data.dir/cora_generator.cc.o.d"
+  "CMakeFiles/dd_data.dir/corruptor.cc.o"
+  "CMakeFiles/dd_data.dir/corruptor.cc.o.d"
+  "CMakeFiles/dd_data.dir/csv.cc.o"
+  "CMakeFiles/dd_data.dir/csv.cc.o.d"
+  "CMakeFiles/dd_data.dir/hotel_generator.cc.o"
+  "CMakeFiles/dd_data.dir/hotel_generator.cc.o.d"
+  "CMakeFiles/dd_data.dir/perturb.cc.o"
+  "CMakeFiles/dd_data.dir/perturb.cc.o.d"
+  "CMakeFiles/dd_data.dir/relation.cc.o"
+  "CMakeFiles/dd_data.dir/relation.cc.o.d"
+  "CMakeFiles/dd_data.dir/restaurant_generator.cc.o"
+  "CMakeFiles/dd_data.dir/restaurant_generator.cc.o.d"
+  "CMakeFiles/dd_data.dir/schema.cc.o"
+  "CMakeFiles/dd_data.dir/schema.cc.o.d"
+  "libdd_data.a"
+  "libdd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_detect.dir/detection_eval.cc.o"
+  "CMakeFiles/dd_detect.dir/detection_eval.cc.o.d"
+  "CMakeFiles/dd_detect.dir/violation_detector.cc.o"
+  "CMakeFiles/dd_detect.dir/violation_detector.cc.o.d"
+  "libdd_detect.a"
+  "libdd_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

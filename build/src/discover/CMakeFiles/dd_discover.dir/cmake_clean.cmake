@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_discover.dir/rule_explorer.cc.o"
+  "CMakeFiles/dd_discover.dir/rule_explorer.cc.o.d"
+  "libdd_discover.a"
+  "libdd_discover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_discover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

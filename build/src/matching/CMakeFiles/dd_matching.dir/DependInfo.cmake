@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/builder.cc" "src/matching/CMakeFiles/dd_matching.dir/builder.cc.o" "gcc" "src/matching/CMakeFiles/dd_matching.dir/builder.cc.o.d"
+  "/root/repo/src/matching/matching_relation.cc" "src/matching/CMakeFiles/dd_matching.dir/matching_relation.cc.o" "gcc" "src/matching/CMakeFiles/dd_matching.dir/matching_relation.cc.o.d"
+  "/root/repo/src/matching/serialization.cc" "src/matching/CMakeFiles/dd_matching.dir/serialization.cc.o" "gcc" "src/matching/CMakeFiles/dd_matching.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/dd_metric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

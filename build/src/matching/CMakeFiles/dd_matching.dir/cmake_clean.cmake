@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_matching.dir/builder.cc.o"
+  "CMakeFiles/dd_matching.dir/builder.cc.o.d"
+  "CMakeFiles/dd_matching.dir/matching_relation.cc.o"
+  "CMakeFiles/dd_matching.dir/matching_relation.cc.o.d"
+  "CMakeFiles/dd_matching.dir/serialization.cc.o"
+  "CMakeFiles/dd_matching.dir/serialization.cc.o.d"
+  "libdd_matching.a"
+  "libdd_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

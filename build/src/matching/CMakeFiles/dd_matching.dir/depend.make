@@ -1,0 +1,2 @@
+# Empty dependencies file for dd_matching.
+# This may be replaced when dependencies are built.

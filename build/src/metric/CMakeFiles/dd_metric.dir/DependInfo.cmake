@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metric/levenshtein.cc" "src/metric/CMakeFiles/dd_metric.dir/levenshtein.cc.o" "gcc" "src/metric/CMakeFiles/dd_metric.dir/levenshtein.cc.o.d"
+  "/root/repo/src/metric/qgram.cc" "src/metric/CMakeFiles/dd_metric.dir/qgram.cc.o" "gcc" "src/metric/CMakeFiles/dd_metric.dir/qgram.cc.o.d"
+  "/root/repo/src/metric/registry.cc" "src/metric/CMakeFiles/dd_metric.dir/registry.cc.o" "gcc" "src/metric/CMakeFiles/dd_metric.dir/registry.cc.o.d"
+  "/root/repo/src/metric/token_metrics.cc" "src/metric/CMakeFiles/dd_metric.dir/token_metrics.cc.o" "gcc" "src/metric/CMakeFiles/dd_metric.dir/token_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

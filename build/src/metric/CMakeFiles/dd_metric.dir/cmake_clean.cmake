@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_metric.dir/levenshtein.cc.o"
+  "CMakeFiles/dd_metric.dir/levenshtein.cc.o.d"
+  "CMakeFiles/dd_metric.dir/qgram.cc.o"
+  "CMakeFiles/dd_metric.dir/qgram.cc.o.d"
+  "CMakeFiles/dd_metric.dir/registry.cc.o"
+  "CMakeFiles/dd_metric.dir/registry.cc.o.d"
+  "CMakeFiles/dd_metric.dir/token_metrics.cc.o"
+  "CMakeFiles/dd_metric.dir/token_metrics.cc.o.d"
+  "libdd_metric.a"
+  "libdd_metric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_metric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

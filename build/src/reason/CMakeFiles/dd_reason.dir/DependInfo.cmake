@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reason/implication.cc" "src/reason/CMakeFiles/dd_reason.dir/implication.cc.o" "gcc" "src/reason/CMakeFiles/dd_reason.dir/implication.cc.o.d"
+  "/root/repo/src/reason/statement.cc" "src/reason/CMakeFiles/dd_reason.dir/statement.cc.o" "gcc" "src/reason/CMakeFiles/dd_reason.dir/statement.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/dd_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/dd_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

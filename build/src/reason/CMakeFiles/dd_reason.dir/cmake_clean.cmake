@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_reason.dir/implication.cc.o"
+  "CMakeFiles/dd_reason.dir/implication.cc.o.d"
+  "CMakeFiles/dd_reason.dir/statement.cc.o"
+  "CMakeFiles/dd_reason.dir/statement.cc.o.d"
+  "libdd_reason.a"
+  "libdd_reason.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_reason.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/candidate_lattice_test.dir/candidate_lattice_test.cc.o"
+  "CMakeFiles/candidate_lattice_test.dir/candidate_lattice_test.cc.o.d"
+  "candidate_lattice_test"
+  "candidate_lattice_test.pdb"
+  "candidate_lattice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/candidate_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

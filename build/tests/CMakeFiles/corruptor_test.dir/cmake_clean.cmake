@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruptor_test.dir/corruptor_test.cc.o"
+  "CMakeFiles/corruptor_test.dir/corruptor_test.cc.o.d"
+  "corruptor_test"
+  "corruptor_test.pdb"
+  "corruptor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruptor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_test.dir/da_test.cc.o"
+  "CMakeFiles/da_test.dir/da_test.cc.o.d"
+  "da_test"
+  "da_test.pdb"
+  "da_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_test.dir/detect_test.cc.o"
+  "CMakeFiles/detect_test.dir/detect_test.cc.o.d"
+  "detect_test"
+  "detect_test.pdb"
+  "detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determiner_test.dir/determiner_test.cc.o"
+  "CMakeFiles/determiner_test.dir/determiner_test.cc.o.d"
+  "determiner_test"
+  "determiner_test.pdb"
+  "determiner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

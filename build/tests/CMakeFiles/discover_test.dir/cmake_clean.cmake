@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discover_test.dir/discover_test.cc.o"
+  "CMakeFiles/discover_test.dir/discover_test.cc.o.d"
+  "discover_test"
+  "discover_test.pdb"
+  "discover_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discover_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_utility_test.dir/expected_utility_test.cc.o"
+  "CMakeFiles/expected_utility_test.dir/expected_utility_test.cc.o.d"
+  "expected_utility_test"
+  "expected_utility_test.pdb"
+  "expected_utility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

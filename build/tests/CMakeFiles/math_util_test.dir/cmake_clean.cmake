@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_util_test.dir/math_util_test.cc.o"
+  "CMakeFiles/math_util_test.dir/math_util_test.cc.o.d"
+  "math_util_test"
+  "math_util_test.pdb"
+  "math_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_provider_test.dir/measure_provider_test.cc.o"
+  "CMakeFiles/measure_provider_test.dir/measure_provider_test.cc.o.d"
+  "measure_provider_test"
+  "measure_provider_test.pdb"
+  "measure_provider_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perturb_test.dir/perturb_test.cc.o"
+  "CMakeFiles/perturb_test.dir/perturb_test.cc.o.d"
+  "perturb_test"
+  "perturb_test.pdb"
+  "perturb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perturb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

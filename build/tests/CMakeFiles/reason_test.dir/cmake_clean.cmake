@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reason_test.dir/reason_test.cc.o"
+  "CMakeFiles/reason_test.dir/reason_test.cc.o.d"
+  "reason_test"
+  "reason_test.pdb"
+  "reason_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reason_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/result_io_test.dir/result_io_test.cc.o"
+  "CMakeFiles/result_io_test.dir/result_io_test.cc.o.d"
+  "result_io_test"
+  "result_io_test.pdb"
+  "result_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/result_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

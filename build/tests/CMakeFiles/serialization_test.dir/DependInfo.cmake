@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/serialization_test.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/serialization_test.dir/serialization_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/metric/CMakeFiles/dd_metric.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/dd_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dd_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reason/CMakeFiles/dd_reason.dir/DependInfo.cmake"
+  "/root/repo/build/src/discover/CMakeFiles/dd_discover.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

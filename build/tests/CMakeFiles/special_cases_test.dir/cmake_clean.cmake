@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/special_cases_test.dir/special_cases_test.cc.o"
+  "CMakeFiles/special_cases_test.dir/special_cases_test.cc.o.d"
+  "special_cases_test"
+  "special_cases_test.pdb"
+  "special_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/special_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddtool.dir/ddtool.cc.o"
+  "CMakeFiles/ddtool.dir/ddtool.cc.o.d"
+  "ddtool"
+  "ddtool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddtool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
