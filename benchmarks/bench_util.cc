@@ -4,6 +4,9 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd::bench {
 
@@ -105,6 +108,26 @@ RuleWorkload MakeRuleWorkload(int rule_number, std::size_t max_pairs) {
       DD_CHECK(false);
   }
   __builtin_unreachable();
+}
+
+void ResetPhaseTimings() {
+  obs::Tracer::Global().Reset();
+  obs::MetricsRegistry::Global().ResetAll();
+}
+
+std::string PhaseTimingsJson() {
+  const obs::TraceSnapshot snap = obs::Tracer::Global().Snapshot();
+  const obs::SpanStats* determine = snap.Find("determine");
+  std::string out = "{";
+  if (determine != nullptr) {
+    out += StrFormat("\"total_s\": %.6f", determine->total_seconds);
+    for (const obs::SpanStats& child : determine->children) {
+      out += StrFormat(", \"%s_s\": %.6f", child.name.c_str(),
+                       child.total_seconds);
+    }
+  }
+  out += "}";
+  return out;
 }
 
 DetermineOptions ApproachOptions(const std::string& approach,

@@ -61,6 +61,17 @@ std::vector<std::size_t> ScalabilitySizes();
 DetermineOptions ApproachOptions(const std::string& approach,
                                  std::size_t top_l = 1);
 
+// Clears the global tracer and metrics registry so the next measured
+// run's phase timings are isolated from setup work and earlier runs.
+void ResetPhaseTimings();
+
+// One-line JSON object of per-phase wall seconds under the "determine"
+// span of the global tracer, e.g.
+//   {"total_s": 1.23, "provider_build_s": 0.04, "prior_estimation_s":
+//    0.11, "search_s": 1.07}
+// Returns "{}" when no determine span has been recorded.
+std::string PhaseTimingsJson();
+
 }  // namespace dd::bench
 
 #endif  // DD_BENCHMARKS_BENCH_UTIL_H_

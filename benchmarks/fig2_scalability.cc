@@ -4,11 +4,21 @@
 // default here sweeps 20k..100k (set DD_BENCH_SCALE=10 for the paper's
 // sizes). Expected shape: linear growth in |M|; DA+PAP below DA+PA;
 // DAP+PAP lowest (or tied).
+//
+// Besides the human-readable table, every measurement is also emitted
+// as a machine-readable line
+//   BENCH_JSON {"figure": 2, "rule": R, "approach": "...", "pairs": M,
+//               "elapsed_s": T, "phases": {...}}
+// where "phases" carries the per-phase wall times recorded by the
+// tracing layer (src/obs) — grep '^BENCH_JSON ' to collect them.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "benchmarks/bench_util.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 
 int main() {
   std::printf("=== Figure 2: time performance on various data sizes "
@@ -21,22 +31,36 @@ int main() {
     std::printf("%10s", "|M|");
     for (const char* a : approaches) std::printf(" %12s", a);
     std::printf("\n");
+    std::vector<std::string> json_rows;
     for (std::size_t size : sizes) {
       dd::bench::RuleWorkload w =
           dd::bench::MakeRuleWorkload(rule.number, size);
       std::printf("%10zu", w.matching.num_tuples());
       for (const char* a : approaches) {
         auto opts = dd::bench::ApproachOptions(a);
+        dd::bench::ResetPhaseTimings();
         auto result = dd::DetermineThresholds(w.matching, w.rule, opts);
         if (!result.ok()) {
           std::printf(" %12s", "error");
           continue;
         }
         std::printf(" %11.3fs", result->elapsed_seconds);
+        std::string row = dd::StrFormat(
+            "{\"figure\": 2, \"rule\": %d, \"approach\": \"%s\", "
+            "\"pairs\": %zu, \"elapsed_s\": %.6f, \"phases\": ",
+            rule.number, a, w.matching.num_tuples(),
+            result->elapsed_seconds);
+        row += dd::bench::PhaseTimingsJson();
+        row += "}";
+        json_rows.push_back(std::move(row));
       }
       std::printf("\n");
       std::fflush(stdout);
     }
+    for (const std::string& row : json_rows) {
+      std::printf("BENCH_JSON %s\n", row.c_str());
+    }
+    std::fflush(stdout);
   }
   std::printf("\nexpected shape (paper): linear in |M|; DA+PAP < DA+PA; "
               "DAP+PAP <= DA+PAP.\n");

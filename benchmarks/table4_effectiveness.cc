@@ -80,7 +80,7 @@ int main() {
 
   int i = 0;
   for (const auto& p : determined->patterns) {
-    char name[8];
+    char name[16];
     std::snprintf(name, sizeof(name), "phi%d", ++i);
     evaluate(name, p.pattern, p.utility);
   }

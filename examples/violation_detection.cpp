@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %-22s %s\n", "source", "pattern",
               "measures | detection accuracy");
   for (std::size_t i = 0; i < determined->patterns.size(); ++i) {
-    char label[32];
+    char label[40];
     std::snprintf(label, sizeof(label), "determined #%zu", i + 1);
     evaluate(label, determined->patterns[i].pattern);
   }

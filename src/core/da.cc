@@ -4,6 +4,8 @@
 
 #include "common/logging.h"
 #include "core/candidate_lattice.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -63,6 +65,7 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
 
   std::vector<std::uint64_t> lhs_counts;
   if (options.advanced_bound) {
+    obs::TraceSpan span("lhs_ordering");
     // Algorithm 4 processes C_X in descending D(ϕ) order so that every
     // earlier answer has D >= the current candidate's D, the Theorem 3
     // precondition. The counts from this ordering pass are reused below
@@ -88,6 +91,8 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
   std::size_t lhs_evaluated = 0;
   PaStats pa_stats;
   for (std::uint32_t idx : lhs_order) {
+    // Aggregated per-LHS phase: one span node, |C_X| entries.
+    obs::TraceSpan lhs_span("lhs_search");
     const Levels lhs = lhs_lattice.LevelsOf(idx);
     if (options.advanced_bound) {
       provider->SetLhsWithKnownCount(lhs, lhs_counts[idx]);
@@ -107,6 +112,8 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
       bound = 1.0 - ratio * (1.0 - ref_cq);
       if (bound < 0.0) bound = 0.0;  // Paper: negative bounds become 0.
     }
+    DD_VLOG(1) << "lhs candidate " << idx << ": count=" << n
+               << " advanced_bound=" << bound;
 
     std::vector<RhsCandidate> best =
         FindBestRhs(provider, rhs_dims, dmax, bound, pa_options, &pa_stats);
@@ -122,6 +129,7 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
     }
   }
 
+  // Stats contract: accumulate into *stats, never reset (see da.h).
   if (stats != nullptr) {
     stats->lhs_total += lhs_lattice.size();
     stats->lhs_evaluated += lhs_evaluated;

@@ -58,6 +58,11 @@ struct DaStats {
 // Results are sorted by descending utility; fewer than top_l entries are
 // returned when the remaining candidates cannot strictly improve on the
 // bound (e.g. all-zero confidence rules).
+//
+// Stats contract: `stats`, when non-null, is ACCUMULATED into (never
+// reset), matching FindBestRhs — callers that want per-run numbers pass
+// a freshly zero-initialized DaStats. Provider stats follow the same
+// convention (see core/measure_provider.h).
 std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
                                                      std::size_t lhs_dims,
                                                      std::size_t rhs_dims,

@@ -5,6 +5,9 @@
 #include "common/stopwatch.h"
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -16,26 +19,53 @@ const char* RhsAlgorithmName(RhsAlgorithm algorithm) {
   return algorithm == RhsAlgorithm::kPa ? "PA" : "PAP";
 }
 
+void PublishDetermineMetrics(const DaStats& stats,
+                             const ProviderStats& provider_stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("determine.runs").Increment();
+  registry.GetCounter("determine.lhs_evaluated").Add(stats.lhs_evaluated);
+  registry.GetCounter("determine.rhs_lattice").Add(stats.rhs.lattice_size);
+  registry.GetCounter("determine.rhs_evaluated").Add(stats.rhs.evaluated);
+  registry.GetCounter("determine.rhs_pruned").Add(stats.rhs.pruned);
+  registry.GetCounter("provider.lhs_evaluations")
+      .Add(provider_stats.lhs_evaluations);
+  registry.GetCounter("provider.xy_evaluations")
+      .Add(provider_stats.xy_evaluations);
+  registry.GetCounter("provider.rows_scanned").Add(provider_stats.rows_scanned);
+  registry.GetGauge("determine.pruning_rate").Set(stats.PruningRate());
+}
+
 Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
                                             const RuleSpec& rule,
                                             const DetermineOptions& options) {
   if (options.top_l == 0) {
     return Status::InvalidArgument("top_l must be >= 1");
   }
+  obs::TraceSpan determine_span("determine");
+  Stopwatch total_timer;
   DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
-  DD_ASSIGN_OR_RETURN(std::unique_ptr<MeasureProvider> provider,
-                      MakeMeasureProvider(matching, resolved, options.provider,
-                                          options.provider_threads));
+  std::unique_ptr<MeasureProvider> provider;
+  {
+    obs::TraceSpan span("provider_build");
+    DD_ASSIGN_OR_RETURN(provider,
+                        MakeMeasureProvider(matching, resolved,
+                                            options.provider,
+                                            options.provider_threads));
+  }
 
   DetermineResult result;
   UtilityOptions utility = options.utility;
   if (options.prior_sample_size > 0) {
+    obs::TraceSpan span("prior_estimation");
     utility.prior_mean_cq = EstimatePriorMeanCq(
         provider.get(), resolved.lhs.size(), resolved.rhs.size(),
         matching.dmax(), options.prior_sample_size, options.prior_seed);
   }
   result.prior_mean_cq = utility.prior_mean_cq;
-  provider->ResetStats();  // Prior estimation does not count as search work.
+  // Stats contract (see measure_provider.h): provider stats accumulate
+  // across every call, so reset here to exclude prior-estimation probes
+  // — result.provider_stats must reflect search work only.
+  provider->ResetStats();
 
   DaOptions da;
   da.advanced_bound = options.lhs_algorithm == LhsAlgorithm::kDap;
@@ -46,11 +76,20 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
   da.utility = utility;
 
   Stopwatch timer;
-  result.patterns = DetermineBestPatterns(
-      provider.get(), resolved.lhs.size(), resolved.rhs.size(),
-      matching.dmax(), da, &result.stats);
+  {
+    obs::TraceSpan span("search");
+    result.patterns = DetermineBestPatterns(
+        provider.get(), resolved.lhs.size(), resolved.rhs.size(),
+        matching.dmax(), da, &result.stats);
+  }
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.provider_stats = provider->stats();
+  PublishDetermineMetrics(result.stats, result.provider_stats);
+  DD_LOG(INFO) << LhsAlgorithmName(options.lhs_algorithm) << "+"
+               << RhsAlgorithmName(options.rhs_algorithm) << " determined "
+               << result.patterns.size() << " pattern(s) over |M|="
+               << matching.num_tuples() << " in " << total_timer.ElapsedSeconds()
+               << "s (pruning rate " << result.stats.PruningRate() << ")";
   return result;
 }
 

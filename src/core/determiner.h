@@ -45,11 +45,22 @@ struct DetermineOptions {
 struct DetermineResult {
   // Up to top_l patterns, descending expected utility.
   std::vector<DeterminedPattern> patterns;
+  // Search-phase work only: the facade resets the provider's stats after
+  // prior estimation, so neither field below includes the prior probes
+  // (see the stats contract in core/measure_provider.h).
   DaStats stats;
   ProviderStats provider_stats;
   double prior_mean_cq = 0.0;
   double elapsed_seconds = 0.0;
 };
+
+// Publishes a finished run's search statistics into the global
+// obs::MetricsRegistry (counters "determine.*" / "provider.*" and the
+// "determine.pruning_rate" gauge). Called by the determination facades;
+// exposed for custom pipelines that drive DetermineBestPatterns
+// directly.
+void PublishDetermineMetrics(const DaStats& stats,
+                             const ProviderStats& provider_stats);
 
 // Runs the determination. Fails on unresolvable rules or providers.
 Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,

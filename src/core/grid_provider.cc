@@ -4,6 +4,9 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/measure_provider.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -36,6 +39,9 @@ void PrefixSumAllDims(std::vector<std::uint64_t>* grid, std::size_t dims,
 Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
     const MatchingRelation& matching, ResolvedRule rule,
     std::size_t max_cells) {
+  // Build cost is the grid's entire scan budget; CountXY stays O(1) and
+  // deliberately uninstrumented beyond the inherited ProviderStats.
+  obs::TraceSpan span("grid_build");
   const std::size_t base = static_cast<std::size_t>(matching.dmax()) + 1;
   const std::size_t dims = rule.lhs.size() + rule.rhs.size();
   std::size_t cells = 1;
@@ -78,6 +84,10 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
 
   PrefixSumAllDims(&provider->joint_, dims, base);
   PrefixSumAllDims(&provider->lhs_grid_, rule.lhs.size(), base);
+  obs::MetricsRegistry::Global().GetGauge("provider.grid_cells").Set(
+      static_cast<double>(cells));
+  DD_LOG(INFO) << "grid provider built: " << cells << " cells over "
+               << m << " matching tuples";
   return provider;
 }
 

@@ -60,6 +60,12 @@ class MeasureProvider {
   // count(b ⊨ ϕ[XY]) for the current ϕ[X] and the given ϕ[Y].
   virtual std::uint64_t CountXY(const Levels& rhs) = 0;
 
+  // Stats contract (shared with DaStats/PaStats, see da.h / pa.h):
+  // stats ACCUMULATE across every SetLhs/CountXY call for the provider's
+  // lifetime and are never reset implicitly. Callers that want a
+  // specific window call ResetStats() at its start — the determination
+  // facades (determiner.cc, special_cases.cc) reset after prior
+  // estimation so reported stats cover search work only.
   const ProviderStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ProviderStats{}; }
 

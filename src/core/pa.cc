@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -67,6 +69,7 @@ std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
                                       const PaOptions& options,
                                       PaStats* stats) {
   DD_CHECK_GE(options.top_l, 1u);
+  obs::TraceSpan span("rhs_search");
   CandidateLattice lattice(rhs_dims, dmax);
   const std::vector<std::uint32_t> order =
       CandidateLattice::MakeOrder(rhs_dims, dmax, options.order);
@@ -109,11 +112,18 @@ std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
     }
   }
 
+  // Stats contract: accumulate into *stats, never reset (see pa.h). The
+  // registry flush below is one relaxed add per FindBestRhs call (one
+  // per evaluated LHS), far off the per-candidate hot path.
   if (stats != nullptr) {
     stats->lattice_size += lattice.size();
     stats->evaluated += evaluated;
     stats->pruned += lattice.size() - evaluated;
   }
+  static obs::Histogram& evaluated_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "pa.evaluated_per_lhs", {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0});
+  evaluated_hist.Observe(static_cast<double>(evaluated));
   return std::move(top).Sorted();
 }
 

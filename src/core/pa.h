@@ -50,7 +50,13 @@ struct PaStats {
 // Returns up to `top_l` candidates whose C·Q strictly exceeds
 // `initial_bound`, sorted by descending C·Q. An empty result means every
 // candidate was bounded out (DAP Algorithm 4, line 6: "if ϕi[Y]
-// exists"). `stats`, when non-null, is accumulated (not reset).
+// exists").
+//
+// Stats contract: `stats`, when non-null, is ACCUMULATED into (never
+// reset) so one PaStats can aggregate a whole C_X sweep; callers wanting
+// per-call numbers pass a freshly zero-initialized struct. Same
+// convention as DetermineBestPatterns (da.h) and the provider stats
+// (core/measure_provider.h).
 std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
                                       std::size_t rhs_dims, int dmax,
                                       double initial_bound,

@@ -37,8 +37,14 @@ std::string LevelsToString(const Levels& levels) {
 }
 
 std::string PatternToString(const Pattern& pattern) {
-  return "(" + LevelsToString(pattern.lhs) + " -> " +
-         LevelsToString(pattern.rhs) + ")";
+  // Sequential appends sidestep a GCC 12 -Wrestrict false positive
+  // (PR105329) on "literal" + std::string operator chains.
+  std::string out = "(";
+  out += LevelsToString(pattern.lhs);
+  out += " -> ";
+  out += LevelsToString(pattern.rhs);
+  out += ")";
+  return out;
 }
 
 }  // namespace dd

@@ -20,7 +20,11 @@ std::string NamesToJsonArray(const std::vector<std::string>& names) {
   std::string out = "[";
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (i > 0) out += ",";
-    out += "\"" + JsonEscape(names[i]) + "\"";
+    // Sequential appends sidestep a GCC 12 -Wrestrict false positive
+    // (PR105329) on "literal" + std::string operator chains.
+    out += "\"";
+    out += JsonEscape(names[i]);
+    out += "\"";
   }
   out += "]";
   return out;

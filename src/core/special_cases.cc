@@ -8,6 +8,7 @@
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
 #include "core/pa.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -19,22 +20,30 @@ Result<DetermineResult> DetermineWithPinnedSide(
   if (options.top_l == 0) {
     return Status::InvalidArgument("top_l must be >= 1");
   }
+  obs::TraceSpan determine_span("determine");
   DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
-  DD_ASSIGN_OR_RETURN(
-      std::unique_ptr<MeasureProvider> provider,
-      MakeMeasureProvider(matching, resolved, options.provider));
+  std::unique_ptr<MeasureProvider> provider;
+  {
+    obs::TraceSpan span("provider_build");
+    DD_ASSIGN_OR_RETURN(
+        provider, MakeMeasureProvider(matching, resolved, options.provider));
+  }
   const int dmax = matching.dmax();
 
   DetermineResult result;
   UtilityOptions utility = options.utility;
   if (options.prior_sample_size > 0) {
+    obs::TraceSpan span("prior_estimation");
     utility.prior_mean_cq = EstimatePriorMeanCq(
         provider.get(), resolved.lhs.size(), resolved.rhs.size(), dmax,
         options.prior_sample_size, options.prior_seed);
   }
   result.prior_mean_cq = utility.prior_mean_cq;
+  // Stats contract (measure_provider.h): reset so the reported stats
+  // cover search work only, mirroring DetermineThresholds.
   provider->ResetStats();
   Stopwatch timer;
+  obs::TraceSpan search_span("search");
 
   PaOptions pa;
   pa.prune = options.prune;
@@ -60,9 +69,12 @@ Result<DetermineResult> DetermineWithPinnedSide(
                                   utility);
       result.patterns.push_back(std::move(p));
     }
-    result.stats.lhs_total = 1;
-    result.stats.lhs_evaluated = 1;
-    result.stats.rhs = pa_stats;
+    // Stats contract: accumulate field-wise, matching DetermineBestPatterns.
+    result.stats.lhs_total += 1;
+    result.stats.lhs_evaluated += 1;
+    result.stats.rhs.lattice_size += pa_stats.lattice_size;
+    result.stats.rhs.evaluated += pa_stats.evaluated;
+    result.stats.rhs.pruned += pa_stats.pruned;
   } else {
     // MD: ϕ[Y] = equality; evaluate every ϕ[X] against the fixed RHS.
     // Q(<0,...,0>) = 1, so the expected utility ranks LHS candidates by
@@ -84,9 +96,10 @@ Result<DetermineResult> DetermineWithPinnedSide(
       result.patterns.push_back(std::move(p));
       ++result.stats.lhs_evaluated;
     }
-    result.stats.lhs_total = lhs_lattice.size();
-    result.stats.rhs.lattice_size = lhs_lattice.size();
-    result.stats.rhs.evaluated = lhs_lattice.size();
+    // Stats contract: accumulate field-wise, matching DetermineBestPatterns.
+    result.stats.lhs_total += lhs_lattice.size();
+    result.stats.rhs.lattice_size += lhs_lattice.size();
+    result.stats.rhs.evaluated += lhs_lattice.size();
     std::sort(result.patterns.begin(), result.patterns.end(),
               [](const DeterminedPattern& a, const DeterminedPattern& b) {
                 return a.utility > b.utility;
@@ -103,6 +116,7 @@ Result<DetermineResult> DetermineWithPinnedSide(
 
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.provider_stats = provider->stats();
+  PublishDetermineMetrics(result.stats, result.provider_stats);
   return result;
 }
 

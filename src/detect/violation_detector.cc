@@ -1,6 +1,9 @@
 #include "detect/violation_detector.h"
 
 #include "common/logging.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -8,6 +11,7 @@ PairList DetectViolationsIn(const MatchingRelation& matching,
                             const ResolvedRule& rule, const Pattern& pattern) {
   DD_CHECK_EQ(pattern.lhs.size(), rule.lhs.size());
   DD_CHECK_EQ(pattern.rhs.size(), rule.rhs.size());
+  obs::TraceSpan span("detect");
   PairList found;
   const std::size_t m = matching.num_tuples();
   for (std::size_t row = 0; row < m; ++row) {
@@ -30,6 +34,11 @@ PairList DetectViolationsIn(const MatchingRelation& matching,
     }
     if (!rhs_sat) found.push_back(matching.pair(row));
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("detect.pairs_scanned").Add(m);
+  registry.GetCounter("detect.violations_found").Add(found.size());
+  DD_LOG(INFO) << "violation scan: " << found.size() << " violating pair(s) in "
+               << m << " matching tuple(s)";
   return found;
 }
 

@@ -8,6 +8,9 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "metric/metric.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dd {
 
@@ -51,6 +54,11 @@ Level BucketDistance(double raw, double scale, int dmax) {
 Result<MatchingRelation> BuildMatchingRelation(
     const Relation& relation, const std::vector<std::string>& attributes,
     const MatchingOptions& options) {
+  obs::TraceSpan span("matching_build");
+  static obs::Counter& pairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("matching.pairs_computed");
+  static obs::Counter& distance_counter =
+      obs::MetricsRegistry::Global().GetCounter("matching.distances_computed");
   if (options.dmax < 1 || options.dmax > 255) {
     return Status::InvalidArgument(
         StrFormat("dmax %d outside [1, 255]", options.dmax));
@@ -110,6 +118,11 @@ Result<MatchingRelation> BuildMatchingRelation(
         out.AddTuple(i, j, levels);
       }
     }
+    pairs_counter.Add(total_pairs);
+    distance_counter.Add(total_pairs * attributes.size());
+    DD_LOG(INFO) << "matching relation built: all " << total_pairs
+                 << " pairs over " << n << " rows, " << attributes.size()
+                 << " attribute(s), dmax=" << options.dmax;
     return out;
   }
 
@@ -130,6 +143,11 @@ Result<MatchingRelation> BuildMatchingRelation(
     compute_levels(i, j, &levels);
     out.AddTuple(i, j, levels);
   }
+  pairs_counter.Add(ks.size());
+  distance_counter.Add(ks.size() * attributes.size());
+  DD_LOG(INFO) << "matching relation built: sampled " << ks.size() << " of "
+               << total_pairs << " pairs over " << n << " rows, dmax="
+               << options.dmax;
   return out;
 }
 

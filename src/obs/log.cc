@@ -1,0 +1,130 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dd::obs {
+
+namespace {
+
+constexpr LogLevel kDefaultLevel = LogLevel::kWarn;
+constexpr int kUninitialized = -1;
+
+std::atomic<int> g_level{kUninitialized};
+std::atomic<int> g_verbosity{0};
+std::atomic<LogSink> g_sink{nullptr};
+
+void DefaultSink(LogLevel level, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "%s %s:%d] %s\n", LogLevelName(level), file, line,
+               message.c_str());
+}
+
+std::string ToLower(const std::string& text) {
+  std::string out = text;
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+// Reads DD_LOG_LEVEL / DD_LOG_VERBOSITY into the globals.
+int LevelFromEnv() {
+  const char* env = std::getenv("DD_LOG_LEVEL");
+  LogLevel level = kDefaultLevel;
+  if (env != nullptr && *env != '\0') {
+    ParseLogLevel(env, &level);  // Unparsable input keeps the default.
+  }
+  const char* venv = std::getenv("DD_LOG_VERBOSITY");
+  if (venv != nullptr && *venv != '\0') {
+    g_verbosity.store(std::atoi(venv), std::memory_order_relaxed);
+  }
+  return static_cast<int>(level);
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kVerbose:
+      return "V";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(const std::string& text, LogLevel* level) {
+  const std::string lower = ToLower(text);
+  if (lower == "verbose" || lower == "debug" || lower == "0") {
+    *level = LogLevel::kVerbose;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *level = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else if (lower == "off" || lower == "none" || lower == "4") {
+    *level = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel GetLogLevel() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUninitialized) {
+    level = LevelFromEnv();
+    // First-wins is fine: concurrent initializers compute the same value
+    // unless a SetLogLevel raced in, which then takes precedence.
+    int expected = kUninitialized;
+    g_level.compare_exchange_strong(expected, level,
+                                    std::memory_order_relaxed);
+    level = g_level.load(std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void ReloadLogLevelFromEnv() {
+  g_verbosity.store(0, std::memory_order_relaxed);
+  g_level.store(LevelFromEnv(), std::memory_order_relaxed);
+}
+
+int GetLogVerbosity() { return g_verbosity.load(std::memory_order_relaxed); }
+
+void SetLogVerbosity(int verbosity) {
+  g_verbosity.store(verbosity, std::memory_order_relaxed);
+}
+
+void SetLogSink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  // Strip the directory: "src/core/da.cc" -> "da.cc" keeps records
+  // short and stable across build trees.
+  const char* base = file_;
+  for (const char* p = file_; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  LogSink sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = &DefaultSink;
+  sink(level_, base, line_, stream_.str());
+}
+
+}  // namespace internal
+
+}  // namespace dd::obs

@@ -1,0 +1,126 @@
+// Leveled structured logging for the library and tools. Complements the
+// DD_CHECK macros of common/logging.h (which stay reserved for fatal
+// programmer-error invariants): DD_LOG is for non-fatal, data-dependent
+// diagnostics that used to be raw fprintf or silence.
+//
+//   DD_LOG(INFO) << "built matching relation with " << m << " tuples";
+//   DD_LOG(WARN) << "sampling capped at " << cap << " pairs";
+//   DD_VLOG(1)   << "lhs=" << LevelsToString(lhs);   // compiled out
+//
+// Severities: VERBOSE < INFO < WARN < ERROR. The runtime threshold
+// defaults to WARN (libraries stay quiet) and is read once from the
+// DD_LOG_LEVEL environment variable ("verbose", "info", "warn",
+// "error", "off", case-insensitive, or an integer 0-4); SetLogLevel()
+// overrides it programmatically. Messages below the threshold cost one
+// relaxed atomic load and never evaluate their stream operands.
+//
+// DD_VLOG(n) statements compile to nothing unless the translation unit
+// is built with -DDD_ENABLE_VLOG; when enabled they log at VERBOSE
+// severity if n <= the runtime verbosity (DD_LOG_VERBOSITY env var,
+// default 0).
+//
+// Output goes to stderr as "LEVEL file:line] message"; tests and
+// embedders may redirect it with SetLogSink().
+
+#ifndef DD_OBS_LOG_H_
+#define DD_OBS_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace dd::obs {
+
+enum class LogLevel : int {
+  kVerbose = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Parses a DD_LOG_LEVEL value; returns false on unrecognized input.
+bool ParseLogLevel(const std::string& text, LogLevel* level);
+
+// Current runtime threshold (lazily initialized from the environment).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+// Re-reads DD_LOG_LEVEL / DD_LOG_VERBOSITY (tests; env changed at run
+// time). Unset or unparsable variables restore the defaults.
+void ReloadLogLevelFromEnv();
+
+// Runtime verbosity for DD_VLOG (only meaningful under DD_ENABLE_VLOG).
+int GetLogVerbosity();
+void SetLogVerbosity(int verbosity);
+
+inline bool LogEnabled(LogLevel level) { return level >= GetLogLevel(); }
+
+// Receives every emitted record. `file` is the bare source path.
+using LogSink = void (*)(LogLevel level, const char* file, int line,
+                         const std::string& message);
+
+// nullptr restores the default stderr sink.
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();  // Emits to the sink.
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression in the short-circuit macro below.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+}  // namespace dd::obs
+
+// Maps the DD_LOG(INFO) spelling onto the enum.
+#define DD_LOG_LEVEL_VERBOSE ::dd::obs::LogLevel::kVerbose
+#define DD_LOG_LEVEL_INFO ::dd::obs::LogLevel::kInfo
+#define DD_LOG_LEVEL_WARN ::dd::obs::LogLevel::kWarn
+#define DD_LOG_LEVEL_ERROR ::dd::obs::LogLevel::kError
+
+#define DD_LOG(severity)                                               \
+  !::dd::obs::LogEnabled(DD_LOG_LEVEL_##severity)                      \
+      ? (void)0                                                        \
+      : ::dd::obs::internal::Voidify() &                               \
+            ::dd::obs::internal::LogMessage(DD_LOG_LEVEL_##severity,   \
+                                            __FILE__, __LINE__)        \
+                .stream()
+
+#ifdef DD_ENABLE_VLOG
+#define DD_VLOG(verbosity)                                                 \
+  !(::dd::obs::LogEnabled(::dd::obs::LogLevel::kVerbose) &&                \
+    (verbosity) <= ::dd::obs::GetLogVerbosity())                           \
+      ? (void)0                                                            \
+      : ::dd::obs::internal::Voidify() &                                   \
+            ::dd::obs::internal::LogMessage(::dd::obs::LogLevel::kVerbose, \
+                                            __FILE__, __LINE__)            \
+                .stream()
+#else
+// Compiled out: operands are never evaluated (dead branch), no code is
+// generated, but the expression still type-checks.
+#define DD_VLOG(verbosity)                \
+  true ? (void)0                          \
+       : ::dd::obs::internal::Voidify() & \
+             ::dd::obs::internal::LogMessage(::dd::obs::LogLevel::kVerbose, \
+                                             __FILE__, __LINE__)            \
+                 .stream()
+#endif  // DD_ENABLE_VLOG
+
+#endif  // DD_OBS_LOG_H_

@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace dd::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DD_CHECK(!bounds_.empty());
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    DD_CHECK_LT(bounds_[i - 1], bounds_[i]);
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBoundsMs() {
+  return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = Find(name); entry != nullptr) {
+    DD_CHECK(entry->kind == Kind::kCounter);
+    return *entry->counter;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter& result = *entry->counter;
+  entries_.push_back(std::move(entry));
+  return result;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = Find(name); entry != nullptr) {
+    DD_CHECK(entry->kind == Kind::kGauge);
+    return *entry->gauge;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge& result = *entry->gauge;
+  entries_.push_back(std::move(entry));
+  return result;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* entry = Find(name); entry != nullptr) {
+    DD_CHECK(entry->kind == Kind::kHistogram);
+    return *entry->histogram;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->kind = Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram& result = *entry->histogram;
+  entries_.push_back(std::move(entry));
+  return result;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& entry : entries_) {
+      switch (entry->kind) {
+        case Kind::kCounter:
+          snapshot.counters.push_back({entry->name, entry->counter->value()});
+          break;
+        case Kind::kGauge:
+          snapshot.gauges.push_back({entry->name, entry->gauge->value()});
+          break;
+        case Kind::kHistogram: {
+          MetricsSnapshot::HistogramValue h;
+          h.name = entry->name;
+          h.bounds = entry->histogram->bounds();
+          h.buckets.reserve(h.bounds.size() + 1);
+          for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+            h.buckets.push_back(entry->histogram->bucket_count(i));
+          }
+          h.count = entry->histogram->count();
+          h.sum = entry->histogram->sum();
+          snapshot.histograms.push_back(std::move(h));
+          break;
+        }
+      }
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->Reset();
+        break;
+      case Kind::kGauge:
+        entry->gauge->Reset();
+        break;
+      case Kind::kHistogram:
+        entry->histogram->Reset();
+        break;
+    }
+  }
+}
+
+}  // namespace dd::obs

@@ -1,0 +1,209 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace dd::obs {
+
+namespace {
+
+// Same escaping rules as core/result_io's JsonEscape; duplicated here so
+// obs stays below core in the dependency order.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendSpanJson(const SpanStats& span, std::string* out) {
+  *out += "{\"name\":\"";
+  *out += Escape(span.name);
+  *out += "\"";
+  *out += StrFormat(",\"count\":%llu",
+                    static_cast<unsigned long long>(span.count));
+  *out += StrFormat(",\"total_ms\":%.6f", span.total_seconds * 1e3);
+  *out += StrFormat(",\"self_ms\":%.6f", span.self_seconds * 1e3);
+  *out += ",\"children\":[";
+  for (std::size_t i = 0; i < span.children.size(); ++i) {
+    if (i > 0) *out += ",";
+    AppendSpanJson(span.children[i], out);
+  }
+  *out += "]}";
+}
+
+void AppendSpanText(const SpanStats& span, double parent_total, int depth,
+                    std::string* out) {
+  const double share = parent_total > 0.0
+                           ? 100.0 * span.total_seconds / parent_total
+                           : 100.0;
+  *out += StrFormat("%*s%-*s %10.3fms %9.3fms %8llu %6.1f%%\n", 2 * depth, "",
+                    32 - 2 * depth, span.name.c_str(),
+                    span.total_seconds * 1e3, span.self_seconds * 1e3,
+                    static_cast<unsigned long long>(span.count), share);
+  for (const SpanStats& child : span.children) {
+    AppendSpanText(child, span.total_seconds, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+RunReport CaptureRunReport(const std::string& name) {
+  RunReport report;
+  report.name = name;
+  report.trace = Tracer::Global().Snapshot();
+  report.metrics = MetricsRegistry::Global().Snapshot();
+  return report;
+}
+
+std::string SpanStatsToJson(const SpanStats& span) {
+  std::string out;
+  AppendSpanJson(span, &out);
+  return out;
+}
+
+std::string TraceSnapshotToJson(const TraceSnapshot& trace) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < trace.roots.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendSpanJson(trace.roots[i], &out);
+  }
+  out += "]";
+  return out;
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
+  std::string out = "{\"counters\":{";
+  for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += Escape(metrics.counters[i].name);
+    out += "\":";
+    out += StrFormat(
+        "%llu", static_cast<unsigned long long>(metrics.counters[i].value));
+  }
+  out += "},\"gauges\":{";
+  for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += Escape(metrics.gauges[i].name);
+    out += "\":";
+    out += StrFormat("%.6f", metrics.gauges[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
+    const auto& h = metrics.histograms[i];
+    if (i > 0) out += ",";
+    out += "\"";
+    out += Escape(h.name);
+    out += "\":{\"buckets\":[";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out += ",";
+      if (b < h.bounds.size()) {
+        out += StrFormat("{\"le\":%g,\"count\":%llu}", h.bounds[b],
+                         static_cast<unsigned long long>(h.buckets[b]));
+      } else {
+        out += StrFormat("{\"le\":\"inf\",\"count\":%llu}",
+                         static_cast<unsigned long long>(h.buckets[b]));
+      }
+    }
+    out += StrFormat("],\"count\":%llu,\"sum\":%.6f}",
+                     static_cast<unsigned long long>(h.count), h.sum);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  std::string out = "{\"name\":\"";
+  out += Escape(report.name);
+  out += "\",\"spans\":";
+  out += TraceSnapshotToJson(report.trace);
+  out += ",\"metrics\":";
+  out += MetricsSnapshotToJson(report.metrics);
+  out += "}";
+  return out;
+}
+
+std::string RunReportToText(const RunReport& report) {
+  std::string out;
+  if (!report.name.empty()) out += "run: " + report.name + "\n";
+  out += StrFormat("%-32s %12s %11s %8s %7s\n", "span", "total", "self",
+                   "count", "share");
+  const double grand_total = report.trace.TotalSeconds();
+  for (const SpanStats& root : report.trace.roots) {
+    AppendSpanText(root, grand_total, 0, &out);
+  }
+  bool header = false;
+  for (const auto& c : report.metrics.counters) {
+    if (c.value == 0) continue;
+    if (!header) {
+      out += "counters:\n";
+      header = true;
+    }
+    out += StrFormat("  %-40s %llu\n", c.name.c_str(),
+                     static_cast<unsigned long long>(c.value));
+  }
+  header = false;
+  for (const auto& g : report.metrics.gauges) {
+    if (g.value == 0.0) continue;
+    if (!header) {
+      out += "gauges:\n";
+      header = true;
+    }
+    out += StrFormat("  %-40s %.6f\n", g.name.c_str(), g.value);
+  }
+  header = false;
+  for (const auto& h : report.metrics.histograms) {
+    if (h.count == 0) continue;
+    if (!header) {
+      out += "histograms:\n";
+      header = true;
+    }
+    out += StrFormat("  %-40s count=%llu sum=%.3f mean=%.4f\n", h.name.c_str(),
+                     static_cast<unsigned long long>(h.count), h.sum,
+                     h.sum / static_cast<double>(h.count));
+  }
+  return out;
+}
+
+Status WriteRunReportJson(const RunReport& report, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string json = RunReportToJson(report);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool flushed = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != json.size() || !flushed) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dd::obs

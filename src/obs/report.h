@@ -1,0 +1,52 @@
+// Run reports: one JSON (or indented-text) document combining the span
+// tree from the tracer with a metrics snapshot, so a whole
+// determination run can be archived and diffed. Exporters are
+// dependency-free (hand-rolled JSON, same convention as
+// core/result_io).
+//
+// JSON shape:
+//   {"name": "...",
+//    "spans": [{"name": "...", "count": N, "total_ms": T, "self_ms": S,
+//               "children": [...]}, ...],
+//    "metrics": {"counters": {"a": 1, ...},
+//                "gauges": {"g": 0.5, ...},
+//                "histograms": {"h": {"buckets": [{"le": 1.0, "count": 2},
+//                                                 {"le": "inf", "count": 0}],
+//                                     "count": 2, "sum": 0.3}, ...}}}
+
+#ifndef DD_OBS_REPORT_H_
+#define DD_OBS_REPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dd::obs {
+
+struct RunReport {
+  // Free-form run label, e.g. "ddtool determine DAP+PAP".
+  std::string name;
+  TraceSnapshot trace;
+  MetricsSnapshot metrics;
+};
+
+// Captures the current global tracer + metrics registry state.
+RunReport CaptureRunReport(const std::string& name);
+
+std::string SpanStatsToJson(const SpanStats& span);
+std::string TraceSnapshotToJson(const TraceSnapshot& trace);
+std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics);
+std::string RunReportToJson(const RunReport& report);
+
+// Human-readable indented span tree with counts, totals and self-time
+// percentages, followed by non-zero metrics.
+std::string RunReportToText(const RunReport& report);
+
+// Serializes `report` as JSON into `path` (overwrites).
+Status WriteRunReportJson(const RunReport& report, const std::string& path);
+
+}  // namespace dd::obs
+
+#endif  // DD_OBS_REPORT_H_

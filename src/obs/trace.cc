@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+namespace dd::obs {
+
+thread_local Tracer::Node* Tracer::tl_current_ = nullptr;
+thread_local std::uint64_t Tracer::tl_generation_ = 0;
+
+double TraceSnapshot::TotalSeconds() const {
+  double total = 0.0;
+  for (const SpanStats& root : roots) total += root.total_seconds;
+  return total;
+}
+
+namespace {
+
+const SpanStats* FindIn(const std::vector<SpanStats>& spans,
+                        const std::string& name) {
+  for (const SpanStats& span : spans) {
+    if (span.name == name) return &span;
+    if (const SpanStats* found = FindIn(span.children, name)) return found;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const SpanStats* TraceSnapshot::Find(const std::string& name) const {
+  return FindIn(roots, name);
+}
+
+Tracer::Tracer() : root_(std::make_unique<Node>()) {
+  root_->name = "";
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::Node* Tracer::ChildOf(Node* parent, const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& child : parent->children) {
+    // Pointer equality first: same call site reuses the same literal.
+    if (child->name == name || std::strcmp(child->name, name) == 0) {
+      return child.get();
+    }
+  }
+  auto node = std::make_unique<Node>();
+  node->name = name;
+  node->parent = parent;
+  Node* result = node.get();
+  parent->children.push_back(std::move(node));
+  return result;
+}
+
+SpanStats Tracer::SnapshotNode(const Node& node) {
+  SpanStats stats;
+  stats.name = node.name;
+  stats.count = node.count.load(std::memory_order_relaxed);
+  stats.total_seconds =
+      static_cast<double>(node.total_ns.load(std::memory_order_relaxed)) * 1e-9;
+  double child_total = 0.0;
+  stats.children.reserve(node.children.size());
+  for (const auto& child : node.children) {
+    stats.children.push_back(SnapshotNode(*child));
+    child_total += stats.children.back().total_seconds;
+  }
+  stats.self_seconds = stats.total_seconds - child_total;
+  if (stats.self_seconds < 0.0) stats.self_seconds = 0.0;
+  return stats;
+}
+
+TraceSnapshot Tracer::Snapshot() const {
+  TraceSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.roots.reserve(root_->children.size());
+  for (const auto& child : root_->children) {
+    snapshot.roots.push_back(SnapshotNode(*child));
+  }
+  return snapshot;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  root_->children.clear();
+  generation_.fetch_add(1, std::memory_order_relaxed);
+  // Invalidate this thread's scope pointer immediately; other threads
+  // notice the generation bump on their next span.
+  tl_current_ = nullptr;
+  tl_generation_ = generation_.load(std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  const std::uint64_t generation =
+      tracer.generation_.load(std::memory_order_relaxed);
+  if (Tracer::tl_generation_ != generation) {
+    Tracer::tl_current_ = nullptr;
+    Tracer::tl_generation_ = generation;
+  }
+  Tracer::Node* parent =
+      Tracer::tl_current_ != nullptr ? Tracer::tl_current_ : tracer.root_.get();
+  node_ = tracer.ChildOf(parent, name);
+  parent_ = Tracer::tl_current_;
+  Tracer::tl_current_ = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (node_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  node_->total_ns.fetch_add(
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      std::memory_order_relaxed);
+  Tracer& tracer = Tracer::Global();
+  if (Tracer::tl_generation_ ==
+      tracer.generation_.load(std::memory_order_relaxed)) {
+    Tracer::tl_current_ = parent_;
+  }
+}
+
+}  // namespace dd::obs

@@ -33,7 +33,13 @@ inline MatchingRelation RandomMatching(std::size_t attrs, int dmax,
                                        std::size_t tuples,
                                        std::uint64_t seed) {
   std::vector<std::string> names;
-  for (std::size_t a = 0; a < attrs; ++a) names.push_back("a" + std::to_string(a));
+  for (std::size_t a = 0; a < attrs; ++a) {
+    // Sequential append sidesteps a GCC 12 -Wrestrict false positive
+    // (PR105329) on "literal" + std::to_string(...).
+    std::string name = "a";
+    name += std::to_string(a);
+    names.push_back(std::move(name));
+  }
   MatchingRelation m(std::move(names), dmax);
   Rng rng(seed);
   std::vector<Level> levels(attrs);

@@ -8,11 +8,19 @@
 //                    [--algo DAP+PAP|DA+PAP|DA+PA] [--order top|mid]
 //                    [--metric attr=levenshtein ...] [--provider scan|grid]
 //                    [--collapse] [--json]
+//                    [--trace_json report.json] [--print_stats]
+//                    (trace_json writes the span-tree + metrics run
+//                     report; print_stats summarizes search cost —
+//                     pruning rate, candidates evaluated, rows scanned)
 //                    [--save-matching m.ddmr | --load-matching m.ddmr]
 //                    (persist / reuse the pairwise matching relation,
 //                     the expensive step, across invocations)
 //   ddtool detect    --input dirty.csv --lhs a,b --rhs c --pattern "4,2->3"
 //                    [--dmax 10] [--metric ...] [--out pairs.csv]
+//                    [--trace_json report.json]
+//
+// DD_LOG_LEVEL=info|warn|error|off raises/lowers library logging on
+// stderr (default warn).
 //   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
 //                    [--dmax 10] [--max-pairs 50000]
 //
@@ -35,6 +43,8 @@
 #include "discover/rule_explorer.h"
 #include "matching/builder.h"
 #include "matching/serialization.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -74,6 +84,39 @@ dd::Result<dd::MatchingOptions> MatchingFromFlags(const dd::ArgParser& args) {
   options.seed = static_cast<std::uint64_t>(seed);
   DD_RETURN_IF_ERROR(ApplyMetricFlags(args, &options));
   return options;
+}
+
+// Writes the global span-tree + metrics run report when --trace_json
+// was given. Returns non-OK on I/O failure.
+dd::Status MaybeWriteTraceReport(const dd::ArgParser& args,
+                                 const std::string& run_name) {
+  const std::string path = args.GetString("trace_json");
+  if (path.empty()) return dd::Status::Ok();
+  dd::obs::RunReport report = dd::obs::CaptureRunReport(run_name);
+  DD_RETURN_IF_ERROR(dd::obs::WriteRunReportJson(report, path));
+  std::fprintf(stderr, "wrote trace report to %s\n", path.c_str());
+  return dd::Status::Ok();
+}
+
+// The --print_stats summary: search cost in the units of the paper's
+// evaluation (pruning rate of Figure 4, candidates evaluated, rows
+// scanned by the provider).
+void PrintSearchStats(const dd::DetermineResult& result) {
+  const dd::DaStats& s = result.stats;
+  const dd::ProviderStats& p = result.provider_stats;
+  std::fprintf(stderr, "search stats:\n");
+  std::fprintf(stderr, "  lhs candidates evaluated   %zu of %zu\n", s.lhs_evaluated,
+              s.lhs_total);
+  std::fprintf(stderr, "  rhs lattice size           %zu\n", s.rhs.lattice_size);
+  std::fprintf(stderr, "  rhs candidates evaluated   %zu\n", s.rhs.evaluated);
+  std::fprintf(stderr, "  rhs candidates pruned      %zu\n", s.rhs.pruned);
+  std::fprintf(stderr, "  pruning rate               %.4f\n", s.PruningRate());
+  std::fprintf(stderr, "  provider lhs evaluations   %llu\n",
+              static_cast<unsigned long long>(p.lhs_evaluations));
+  std::fprintf(stderr, "  provider xy evaluations    %llu\n",
+              static_cast<unsigned long long>(p.xy_evaluations));
+  std::fprintf(stderr, "  provider rows scanned      %llu\n",
+              static_cast<unsigned long long>(p.rows_scanned));
 }
 
 // Parses "4,2->3,1" into a Pattern with the given arities.
@@ -193,25 +236,31 @@ int RunDetermine(const dd::ArgParser& args) {
 
   dd::Result<dd::MatchingRelation> matching =
       dd::Status::Internal("matching not initialized");
-  const std::string load_matching = args.GetString("load-matching");
-  if (!load_matching.empty()) {
-    matching = dd::ReadMatchingFile(load_matching);
-  } else {
-    const std::string input = args.GetString("input");
-    if (input.empty()) {
-      return Fail(dd::Status::InvalidArgument(
-          "--input (CSV) or --load-matching (.ddmr) required"));
+  {
+    dd::obs::TraceSpan span("load_input");
+    const std::string load_matching = args.GetString("load-matching");
+    if (!load_matching.empty()) {
+      matching = dd::ReadMatchingFile(load_matching);
+    } else {
+      const std::string input = args.GetString("input");
+      if (input.empty()) {
+        return Fail(dd::Status::InvalidArgument(
+            "--input (CSV) or --load-matching (.ddmr) required"));
+      }
+      auto relation = dd::ReadCsvFile(input);
+      if (!relation.ok()) return Fail(relation.status());
+      auto moptions = MatchingFromFlags(args);
+      if (!moptions.ok()) return Fail(moptions.status());
+      matching =
+          dd::BuildMatchingRelation(*relation, rule.AllAttributes(), *moptions);
     }
-    auto relation = dd::ReadCsvFile(input);
-    if (!relation.ok()) return Fail(relation.status());
-    auto moptions = MatchingFromFlags(args);
-    if (!moptions.ok()) return Fail(moptions.status());
-    matching =
-        dd::BuildMatchingRelation(*relation, rule.AllAttributes(), *moptions);
   }
   if (!matching.ok()) return Fail(matching.status());
-  std::printf("matching relation: %zu tuples (dmax=%d)\n",
-              matching->num_tuples(), matching->dmax());
+  if (!args.Has("json")) {
+    // Keep stdout pure JSON under --json (pipe-friendly).
+    std::printf("matching relation: %zu tuples (dmax=%d)\n",
+                matching->num_tuples(), matching->dmax());
+  }
   const std::string save_matching = args.GetString("save-matching");
   if (!save_matching.empty()) {
     dd::Status save = dd::WriteMatchingFile(*matching, save_matching);
@@ -247,8 +296,11 @@ int RunDetermine(const dd::ArgParser& args) {
   if (args.Has("collapse")) {
     result->patterns = dd::CollapseEquivalent(std::move(result->patterns));
   }
+  dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool determine " + algo);
+  if (!trace_status.ok()) return Fail(trace_status);
   if (args.Has("json")) {
     std::printf("%s\n", dd::DetermineResultToJson(*result, rule).c_str());
+    if (args.Has("print_stats")) PrintSearchStats(*result);
     return 0;
   }
   std::printf("determined %zu pattern(s) in %.3fs (pruning rate %.3f, prior "
@@ -263,6 +315,7 @@ int RunDetermine(const dd::ArgParser& args) {
                 p.measures.confidence, p.measures.support, p.measures.quality,
                 p.utility);
   }
+  if (args.Has("print_stats")) PrintSearchStats(*result);
   return 0;
 }
 
@@ -285,6 +338,8 @@ int RunDetect(const dd::ArgParser& args) {
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
   auto found = dd::DetectViolations(*relation, rule, *pattern, *moptions);
   if (!found.ok()) return Fail(found.status());
+  dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool detect");
+  if (!trace_status.ok()) return Fail(trace_status);
   std::printf("%zu violating pair(s)\n", found->size());
 
   const std::string out = args.GetString("out");
