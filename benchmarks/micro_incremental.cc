@@ -1,0 +1,106 @@
+// micro_incremental — append-batch latency through the incremental
+// maintenance path (src/incr) versus rebuilding the matching relation
+// from scratch, over N data tuples and batches of b inserts. A batch
+// costs ~N·b distance evaluations against the rebuild's N²/2, so the
+// expected speedup is ≈ N/(2b) — e.g. 625× for b=16 into N=20000.
+//
+// Every measurement is emitted as a machine-readable line
+//   BENCH_JSON {"bench": "micro_incremental", "n": N, "batch": b,
+//               "append_s": T, "rebuild_s": R, "speedup": R/T}
+// — grep '^BENCH_JSON ' to collect them. DD_BENCH_SCALE multiplies the
+// data sizes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "benchmarks/bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "data/schema.h"
+#include "incr/incremental_builder.h"
+
+namespace {
+
+// Two numeric attributes keep the per-pair metric cost low, so the
+// measurement isolates the incremental machinery rather than string
+// edit distances.
+std::vector<std::string> MakeRow(dd::Rng* rng) {
+  return {dd::StrFormat("%.3f", rng->NextDouble() * 100.0),
+          dd::StrFormat("%.3f", rng->NextDouble() * 100.0)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== micro_incremental: append-batch latency vs full rebuild ===\n");
+  const std::size_t sizes[] = {1000, 5000, 20000};
+  const std::size_t batches[] = {1, 16, 256};
+  const dd::Schema schema({{"x", dd::AttributeType::kNumeric},
+                           {"y", dd::AttributeType::kNumeric}});
+
+  for (std::size_t base_n : sizes) {
+    const std::size_t n = dd::bench::Scaled(base_n);
+    dd::IncrementalOptions options;
+    options.matching.dmax = 10;
+    auto builder =
+        dd::IncrementalMatchingBuilder::Create(schema, {"x", "y"}, options);
+    if (!builder.ok()) {
+      std::fprintf(stderr, "builder: %s\n",
+                   builder.status().ToString().c_str());
+      return 1;
+    }
+    dd::Rng rng(n);
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(n);
+    for (std::size_t r = 0; r < n; ++r) rows.push_back(MakeRow(&rng));
+
+    dd::Stopwatch seed_timer;
+    auto seeded = builder->ApplyBatch(rows, {});
+    if (!seeded.ok()) {
+      std::fprintf(stderr, "seed batch: %s\n",
+                   seeded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nN=%zu: seeded %zu matching tuples in %.3fs\n", n,
+                seeded->num_added(), seed_timer.ElapsedSeconds());
+
+    double rebuild_s = 0.0;
+    {
+      // Scoped so the 16-bytes-per-pair rebuild copy is freed before
+      // the append measurements run.
+      dd::Stopwatch rebuild_timer;
+      dd::MatchingRelation rebuilt = builder->Rebuild();
+      rebuild_s = rebuild_timer.ElapsedSeconds();
+      std::printf("  full rebuild: %zu matching tuples in %.3fs\n",
+                  rebuilt.num_tuples(), rebuild_s);
+    }
+
+    for (std::size_t b : batches) {
+      std::vector<std::vector<std::string>> batch_rows;
+      batch_rows.reserve(b);
+      for (std::size_t k = 0; k < b; ++k) batch_rows.push_back(MakeRow(&rng));
+      dd::Stopwatch append_timer;
+      auto delta = builder->ApplyBatch(batch_rows, {});
+      const double append_s = append_timer.ElapsedSeconds();
+      if (!delta.ok()) {
+        std::fprintf(stderr, "append batch: %s\n",
+                     delta.status().ToString().c_str());
+        return 1;
+      }
+      const double speedup = append_s > 0.0 ? rebuild_s / append_s : 0.0;
+      std::printf(
+          "  append b=%4zu: %10zu pairs in %9.5fs  (%9.1fx vs rebuild)\n", b,
+          delta->pairs_computed(), append_s, speedup);
+      std::printf(
+          "BENCH_JSON {\"bench\": \"micro_incremental\", \"n\": %zu, "
+          "\"batch\": %zu, \"append_s\": %.6f, \"rebuild_s\": %.6f, "
+          "\"speedup\": %.1f}\n",
+          n, b, append_s, rebuild_s, speedup);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

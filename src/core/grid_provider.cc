@@ -3,38 +3,13 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "core/grid_util.h"
 #include "core/measure_provider.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace dd {
-
-namespace {
-
-// In-place inclusive prefix sums along every dimension of a dense
-// mixed-radix grid with `dims` dimensions of extent `base` each.
-void PrefixSumAllDims(std::vector<std::uint64_t>* grid, std::size_t dims,
-                      std::size_t base) {
-  const std::size_t size = grid->size();
-  std::size_t stride = 1;
-  for (std::size_t d = 0; d < dims; ++d) {
-    const std::size_t block = stride * base;
-    for (std::size_t start = 0; start < size; start += block) {
-      for (std::size_t offset = 0; offset < stride; ++offset) {
-        std::uint64_t running = 0;
-        for (std::size_t lvl = 0; lvl < base; ++lvl) {
-          const std::size_t cell = start + offset + lvl * stride;
-          running += (*grid)[cell];
-          (*grid)[cell] = running;
-        }
-      }
-    }
-    stride = block;
-  }
-}
-
-}  // namespace
 
 Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
     const MatchingRelation& matching, ResolvedRule rule,
@@ -44,15 +19,8 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
   obs::TraceSpan span("grid_build");
   const std::size_t base = static_cast<std::size_t>(matching.dmax()) + 1;
   const std::size_t dims = rule.lhs.size() + rule.rhs.size();
-  std::size_t cells = 1;
-  for (std::size_t d = 0; d < dims; ++d) {
-    if (cells > max_cells / base) {
-      return Status::InvalidArgument(StrFormat(
-          "grid of %zu^%zu cells exceeds the limit of %zu", base, dims,
-          max_cells));
-    }
-    cells *= base;
-  }
+  DD_ASSIGN_OR_RETURN(std::size_t cells,
+                      grid::GridCells(base, dims, max_cells));
 
   auto provider = std::unique_ptr<GridMeasureProvider>(new GridMeasureProvider());
   provider->total_ = matching.num_tuples();
@@ -82,8 +50,8 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
     ++provider->lhs_grid_[lhs_idx];
   }
 
-  PrefixSumAllDims(&provider->joint_, dims, base);
-  PrefixSumAllDims(&provider->lhs_grid_, rule.lhs.size(), base);
+  grid::PrefixSumAllDims(&provider->joint_, dims, base);
+  grid::PrefixSumAllDims(&provider->lhs_grid_, rule.lhs.size(), base);
   obs::MetricsRegistry::Global().GetGauge("provider.grid_cells").Set(
       static_cast<double>(cells));
   DD_LOG(INFO) << "grid provider built: " << cells << " cells over "

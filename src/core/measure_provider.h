@@ -26,11 +26,21 @@
 namespace dd {
 
 struct ProviderStats {
-  // Number of SetLhs calls (one per evaluated ϕ[X]).
+  // Number of evaluated ϕ[X]: every SetLhs call AND every
+  // SetLhsWithKnownCount call. A known count makes the scan free, not
+  // the evaluation, so all providers count it here — the field is the
+  // number of LHS candidates processed, comparable across providers and
+  // independent of how cheaply each one answers.
   std::uint64_t lhs_evaluations = 0;
   // Number of CountXY calls (one per evaluated ϕ[Y] candidate).
   std::uint64_t xy_evaluations = 0;
-  // Matching tuples touched across all scans (0 for the grid provider).
+  // Matching tuples touched by QUERY-TIME scans (SetLhs / CountXY)
+  // only. The grid providers answer queries from their prefix-sum grids
+  // without touching M, so this stays 0 for them BY CONTRACT even
+  // though their construction makes one O(M) histogram pass — build
+  // cost is reported through the "grid_build" trace span and the
+  // provider.grid_cells gauge instead, keeping this field the
+  // per-query scan work that the paper's pruning experiments plot.
   std::uint64_t rows_scanned = 0;
 };
 
@@ -47,7 +57,9 @@ class MeasureProvider {
   // Like SetLhs when the caller already knows count(b ⊨ ϕ[X]) — e.g.
   // DAP's descending-D ordering pass computed every LHS count up front.
   // Implementations that need no per-LHS state beyond the count can
-  // skip their scan; the default just delegates to SetLhs.
+  // skip their scan, but must still count the call in
+  // stats_.lhs_evaluations (see ProviderStats); the default just
+  // delegates to SetLhs.
   virtual void SetLhsWithKnownCount(const Levels& lhs,
                                     std::uint64_t known_count) {
     (void)known_count;

@@ -89,6 +89,9 @@ void ScanMeasureProvider::SetLhsWithKnownCount(const Levels& lhs,
     return;
   }
   DD_CHECK_EQ(lhs.size(), rule_.lhs.size());
+  // Still one LHS evaluation (stats contract, measure_provider.h) —
+  // only the O(M) scan is saved, not the candidate.
+  ++stats_.lhs_evaluations;
   current_lhs_ = lhs;
   lhs_count_ = known_count;
   lhs_rows_.clear();

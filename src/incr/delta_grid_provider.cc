@@ -1,0 +1,148 @@
+#include "incr/delta_grid_provider.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "core/grid_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dd {
+
+namespace {
+
+// Cell indices of one matching tuple's level row in the joint and lhs
+// grids. `at` maps an attribute column to its level.
+template <typename LevelAt>
+std::pair<std::size_t, std::size_t> CellsOf(const ResolvedRule& rule,
+                                            std::size_t base,
+                                            const LevelAt& at) {
+  std::size_t joint_idx = 0;
+  for (std::size_t a = rule.rhs.size(); a-- > 0;) {
+    joint_idx = joint_idx * base + static_cast<std::size_t>(at(rule.rhs[a]));
+  }
+  std::size_t lhs_idx = 0;
+  for (std::size_t a = rule.lhs.size(); a-- > 0;) {
+    joint_idx = joint_idx * base + static_cast<std::size_t>(at(rule.lhs[a]));
+    lhs_idx = lhs_idx * base + static_cast<std::size_t>(at(rule.lhs[a]));
+  }
+  return {joint_idx, lhs_idx};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<DeltaGridProvider>> DeltaGridProvider::Create(
+    const MatchingRelation& matching, ResolvedRule rule,
+    std::size_t max_cells) {
+  obs::TraceSpan span("grid_build");
+  const std::size_t base = static_cast<std::size_t>(matching.dmax()) + 1;
+  const std::size_t dims = rule.lhs.size() + rule.rhs.size();
+  DD_ASSIGN_OR_RETURN(std::size_t cells,
+                      grid::GridCells(base, dims, max_cells));
+  std::size_t lhs_cells = 1;
+  for (std::size_t d = 0; d < rule.lhs.size(); ++d) lhs_cells *= base;
+
+  auto provider = std::unique_ptr<DeltaGridProvider>(new DeltaGridProvider());
+  provider->total_ = matching.num_tuples();
+  provider->dmax_ = matching.dmax();
+  provider->rule_ = std::move(rule);
+  provider->joint_.assign(cells, 0);
+  provider->lhs_grid_.assign(lhs_cells, 0);
+
+  const std::size_t m = matching.num_tuples();
+  for (std::size_t row = 0; row < m; ++row) {
+    auto [joint_idx, lhs_idx] =
+        CellsOf(provider->rule_, base,
+                [&](std::size_t a) { return matching.level(row, a); });
+    ++provider->joint_[joint_idx];
+    ++provider->lhs_grid_[lhs_idx];
+  }
+  grid::PrefixSumAllDims(&provider->joint_, dims, base);
+  grid::PrefixSumAllDims(&provider->lhs_grid_, provider->rule_.lhs.size(),
+                         base);
+  DD_LOG(INFO) << "delta grid provider built: " << cells << " cells over "
+               << m << " matching tuples";
+  return provider;
+}
+
+void DeltaGridProvider::Apply(const MatchingDelta& delta) {
+  obs::TraceSpan span("incr/grid_apply");
+  static obs::Counter& applies_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.grid_applies");
+  static obs::Counter& merged_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.grid_tuples_merged");
+  if (delta.empty()) return;
+  const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
+  const std::size_t dims = rule_.lhs.size() + rule_.rhs.size();
+  scratch_joint_.assign(joint_.size(), 0);
+  scratch_lhs_.assign(lhs_grid_.size(), 0);
+
+  for (std::size_t k = 0; k < delta.num_added(); ++k) {
+    const Level* row = delta.added_row(k);
+    auto [joint_idx, lhs_idx] =
+        CellsOf(rule_, base, [&](std::size_t a) { return row[a]; });
+    ++scratch_joint_[joint_idx];
+    ++scratch_lhs_[lhs_idx];
+  }
+  for (std::size_t k = 0; k < delta.num_removed(); ++k) {
+    const Level* row = delta.removed_row(k);
+    auto [joint_idx, lhs_idx] =
+        CellsOf(rule_, base, [&](std::size_t a) { return row[a]; });
+    --scratch_joint_[joint_idx];
+    --scratch_lhs_[lhs_idx];
+  }
+
+  grid::PrefixSumAllDims(&scratch_joint_, dims, base);
+  grid::PrefixSumAllDims(&scratch_lhs_, rule_.lhs.size(), base);
+  for (std::size_t c = 0; c < joint_.size(); ++c) {
+    joint_[c] += scratch_joint_[c];
+  }
+  for (std::size_t c = 0; c < lhs_grid_.size(); ++c) {
+    lhs_grid_[c] += scratch_lhs_[c];
+  }
+
+  DD_CHECK_GE(total_ + delta.num_added(), delta.num_removed());
+  total_ = total_ + delta.num_added() - delta.num_removed();
+  // The all-dmax corner of the joint grid counts every tuple.
+  DD_CHECK_EQ(static_cast<std::uint64_t>(joint_.back()), total_);
+  applies_counter.Increment();
+  merged_counter.Add(delta.num_added() + delta.num_removed());
+}
+
+void DeltaGridProvider::SetLhs(const Levels& lhs) {
+  DD_CHECK_EQ(lhs.size(), rule_.lhs.size());
+  ++stats_.lhs_evaluations;
+  current_lhs_ = lhs;
+  const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
+  std::size_t idx = 0;
+  for (std::size_t a = rule_.lhs.size(); a-- > 0;) {
+    DD_CHECK_GE(lhs[a], 0);
+    DD_CHECK_LE(lhs[a], dmax_);
+    idx = idx * base + static_cast<std::size_t>(lhs[a]);
+  }
+  const std::int64_t count = lhs_grid_[idx];
+  DD_CHECK_GE(count, 0);
+  lhs_count_ = static_cast<std::uint64_t>(count);
+}
+
+std::uint64_t DeltaGridProvider::CountXY(const Levels& rhs) {
+  DD_CHECK_EQ(rhs.size(), rule_.rhs.size());
+  DD_CHECK_EQ(current_lhs_.size(), rule_.lhs.size());
+  ++stats_.xy_evaluations;
+  const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
+  std::size_t idx = 0;
+  for (std::size_t a = rule_.rhs.size(); a-- > 0;) {
+    DD_CHECK_GE(rhs[a], 0);
+    DD_CHECK_LE(rhs[a], dmax_);
+    idx = idx * base + static_cast<std::size_t>(rhs[a]);
+  }
+  for (std::size_t a = rule_.lhs.size(); a-- > 0;) {
+    idx = idx * base + static_cast<std::size_t>(current_lhs_[a]);
+  }
+  const std::int64_t count = joint_[idx];
+  DD_CHECK_GE(count, 0);
+  return static_cast<std::uint64_t>(count);
+}
+
+}  // namespace dd

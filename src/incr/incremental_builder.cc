@@ -1,0 +1,165 @@
+#include "incr/incremental_builder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dd {
+
+Result<IncrementalMatchingBuilder> IncrementalMatchingBuilder::Create(
+    const Schema& schema, std::vector<std::string> attributes,
+    IncrementalOptions options) {
+  if (options.matching.max_pairs != 0) {
+    return Status::InvalidArgument(
+        "incremental maintenance needs the full pair set: max_pairs must be 0");
+  }
+  if (options.threads == 0) options.threads = 1;
+  DD_ASSIGN_OR_RETURN(
+      ResolvedMetrics resolved,
+      ResolveMatchingMetrics(schema, attributes, options.matching));
+  return IncrementalMatchingBuilder(schema, std::move(attributes),
+                                    std::move(options), std::move(resolved));
+}
+
+Result<MatchingDelta> IncrementalMatchingBuilder::ApplyBatch(
+    const std::vector<std::vector<std::string>>& inserts,
+    const std::vector<std::uint32_t>& deletes) {
+  obs::TraceSpan span("incr/apply_delta");
+  static obs::Counter& batches_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.batches");
+  static obs::Counter& pairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.pairs_recomputed");
+  static obs::Counter& removed_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.matching_rows_removed");
+
+  // Validate the whole batch before mutating anything.
+  const std::size_t arity = store_.schema().num_attributes();
+  for (const auto& values : inserts) {
+    if (values.size() != arity) {
+      return Status::InvalidArgument(
+          StrFormat("insert has %zu values, schema has %zu attributes",
+                    values.size(), arity));
+    }
+  }
+  std::vector<std::uint32_t> sorted_deletes = deletes;
+  std::sort(sorted_deletes.begin(), sorted_deletes.end());
+  for (std::size_t k = 0; k < sorted_deletes.size(); ++k) {
+    if (k > 0 && sorted_deletes[k] == sorted_deletes[k - 1]) {
+      return Status::InvalidArgument(
+          StrFormat("duplicate delete of tuple %u", sorted_deletes[k]));
+    }
+    if (!store_.IsLive(sorted_deletes[k])) {
+      return Status::InvalidArgument(
+          StrFormat("delete of unknown or dead tuple %u", sorted_deletes[k]));
+    }
+  }
+
+  const std::size_t attrs = attributes_.size();
+  MatchingDelta delta;
+  delta.num_attributes = attrs;
+
+  // Deletes first: retire the ids, then compact every matching tuple
+  // that references a dead id out of M (capturing its levels so grid
+  // consumers can subtract without re-deriving anything).
+  if (!sorted_deletes.empty()) {
+    for (std::uint32_t id : sorted_deletes) {
+      Status erased = store_.Erase(id);
+      DD_CHECK(erased.ok());
+    }
+    const auto& pairs = matching_.pairs();
+    std::vector<std::uint32_t> removed_rows;
+    for (std::size_t row = 0; row < pairs.size(); ++row) {
+      if (!store_.IsLive(pairs[row].first) ||
+          !store_.IsLive(pairs[row].second)) {
+        removed_rows.push_back(static_cast<std::uint32_t>(row));
+      }
+    }
+    delta.removed_pairs.reserve(removed_rows.size());
+    delta.removed_levels.reserve(removed_rows.size() * attrs);
+    for (std::uint32_t row : removed_rows) {
+      delta.removed_pairs.push_back(pairs[row]);
+      for (std::size_t a = 0; a < attrs; ++a) {
+        delta.removed_levels.push_back(matching_.level(row, a));
+      }
+    }
+    matching_.RemoveRows(removed_rows);
+  }
+
+  // Inserts: new ids are larger than every existing id, so each new
+  // tuple j pairs with all live i < j — the surviving old tuples plus
+  // the batch's earlier inserts.
+  const std::vector<std::uint32_t> old_live = store_.LiveIds();
+  std::vector<std::uint32_t> new_ids;
+  new_ids.reserve(inserts.size());
+  for (const auto& values : inserts) {
+    Result<std::uint32_t> id = store_.Insert(values);
+    DD_CHECK(id.ok());  // Arity was validated above.
+    new_ids.push_back(*id);
+  }
+
+  const std::size_t b = new_ids.size();
+  const std::size_t total_new = old_live.size() * b + b * (b - 1) / 2;
+  delta.added_pairs.reserve(total_new);
+  for (std::size_t k = 0; k < b; ++k) {
+    const std::uint32_t j = new_ids[k];
+    for (std::uint32_t i : old_live) delta.added_pairs.emplace_back(i, j);
+    for (std::size_t e = 0; e < k; ++e) {
+      delta.added_pairs.emplace_back(new_ids[e], j);
+    }
+  }
+  DD_CHECK_EQ(delta.added_pairs.size(), total_new);
+
+  delta.added_levels.resize(total_new * attrs);
+  ParallelFor(total_new, options_.threads,
+              [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                for (std::size_t p = begin; p < end; ++p) {
+                  resolved_.ComputeLevels(store_.relation(),
+                                          delta.added_pairs[p].first,
+                                          delta.added_pairs[p].second,
+                                          &delta.added_levels[p * attrs]);
+                }
+              });
+
+  matching_.Reserve(matching_.num_tuples() + total_new);
+  std::vector<Level> levels(attrs);
+  for (std::size_t p = 0; p < total_new; ++p) {
+    const Level* row = delta.added_row(p);
+    levels.assign(row, row + attrs);
+    matching_.AddTuple(delta.added_pairs[p].first, delta.added_pairs[p].second,
+                       levels);
+  }
+
+  batches_counter.Increment();
+  pairs_counter.Add(total_new);
+  removed_counter.Add(delta.num_removed());
+  DD_VLOG(1) << "incr batch: +" << b << " tuples / -" << sorted_deletes.size()
+             << " tuples, " << total_new << " pairs computed, "
+             << delta.num_removed() << " matching rows removed, |M|="
+             << matching_.num_tuples();
+  return delta;
+}
+
+MatchingRelation IncrementalMatchingBuilder::Rebuild() const {
+  obs::TraceSpan span("incr/rebuild");
+  const std::vector<std::uint32_t> live = store_.LiveIds();
+  const std::size_t n = live.size();
+  MatchingRelation out(attributes_, options_.matching.dmax);
+  out.Reserve(n * (n - 1) / 2);
+  std::vector<Level> levels(attributes_.size());
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      resolved_.ComputeLevels(store_.relation(), live[a], live[b],
+                              levels.data());
+      out.AddTuple(live[a], live[b], levels);
+    }
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,156 @@
+#include "incr/maintenance.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/expected_utility.h"
+#include "core/measures.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dd {
+
+const char* UpdateReasonName(UpdateReason reason) {
+  return reason == UpdateReason::kInitial ? "initial" : "drift";
+}
+
+Result<MaintenanceEngine> MaintenanceEngine::Create(const Schema& schema,
+                                                    RuleSpec rule,
+                                                    MaintenanceOptions options) {
+  if (options.determine.top_l == 0) {
+    return Status::InvalidArgument("top_l must be >= 1");
+  }
+  MaintenanceEngine engine(std::move(rule), std::move(options));
+  DD_ASSIGN_OR_RETURN(
+      IncrementalMatchingBuilder builder,
+      IncrementalMatchingBuilder::Create(schema, engine.rule_.AllAttributes(),
+                                         engine.options_.incremental));
+  engine.builder_ =
+      std::make_unique<IncrementalMatchingBuilder>(std::move(builder));
+  DD_ASSIGN_OR_RETURN(engine.resolved_,
+                      ResolveRule(engine.builder_->matching(), engine.rule_));
+  DD_ASSIGN_OR_RETURN(
+      engine.provider_,
+      DeltaGridProvider::Create(engine.builder_->matching(), engine.resolved_,
+                                engine.options_.max_cells));
+  return engine;
+}
+
+Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
+    const std::vector<std::vector<std::string>>& inserts,
+    const std::vector<std::uint32_t>& deletes) {
+  obs::TraceSpan span("incr/maintain");
+  static obs::Counter& skipped_counter =
+      obs::MetricsRegistry::Global().GetCounter(
+          "incr.redeterminations_skipped");
+
+  DD_ASSIGN_OR_RETURN(MatchingDelta delta,
+                      builder_->ApplyBatch(inserts, deletes));
+  provider_->Apply(delta);
+
+  BatchOutcome outcome;
+  outcome.batch_seq = ++batch_seq_;
+  outcome.pairs_computed = delta.pairs_computed();
+  outcome.matching_added = delta.num_added();
+  outcome.matching_removed = delta.num_removed();
+
+  // An empty instance has no candidate worth publishing; a previously
+  // published pattern stays on the feed until data returns.
+  if (provider_->total() == 0) return outcome;
+
+  if (!has_published_) {
+    Redetermine(UpdateReason::kInitial, &outcome);
+    return outcome;
+  }
+
+  // Probe the published pattern's current statistics (three O(1) grid
+  // reads) and compare its utility — under the prior frozen at
+  // publication, so only count drift registers — against what was
+  // published.
+  const Measures now = ComputeMeasures(provider_.get(), published_.pattern,
+                                       builder_->dmax());
+  const double utility_now =
+      ExpectedUtility(now.total, now.lhs_count, now.confidence, now.quality,
+                      published_utility_);
+  outcome.drift = std::fabs(utility_now - published_.utility);
+  const bool force = options_.drift_fraction < 0.0;
+  outcome.bound = force ? 0.0 : options_.drift_fraction * published_gap_;
+  if (force || outcome.drift > outcome.bound) {
+    Redetermine(UpdateReason::kDrift, &outcome);
+  } else {
+    ++skipped_;
+    skipped_counter.Increment();
+    DD_VLOG(1) << "batch " << outcome.batch_seq << ": drift " << outcome.drift
+               << " within bound " << outcome.bound
+               << ", keeping published threshold";
+  }
+  return outcome;
+}
+
+void MaintenanceEngine::Redetermine(UpdateReason reason,
+                                    BatchOutcome* outcome) {
+  obs::TraceSpan span("incr/redetermine");
+  static obs::Counter& redetermine_counter =
+      obs::MetricsRegistry::Global().GetCounter("incr.redeterminations");
+
+  const DetermineOptions& det = options_.determine;
+  UtilityOptions utility = det.utility;
+  if (det.prior_sample_size > 0) {
+    obs::TraceSpan prior_span("prior_estimation");
+    utility.prior_mean_cq = EstimatePriorMeanCq(
+        provider_.get(), resolved_.lhs.size(), resolved_.rhs.size(),
+        builder_->dmax(), det.prior_sample_size, det.prior_seed);
+  }
+  provider_->ResetStats();
+
+  // top_l >= 2 keeps a runner-up around: its utility deficit is the gap
+  // the next drift bound derives from.
+  const std::size_t top_l = det.top_l < 2 ? 2 : det.top_l;
+  DaOptions da;
+  da.advanced_bound = det.lhs_algorithm == LhsAlgorithm::kDap;
+  da.pa.prune = det.rhs_algorithm == RhsAlgorithm::kPap;
+  da.pa.order = det.order;
+  da.pa.top_l = top_l;
+  da.top_l = top_l;
+  da.utility = utility;
+
+  DaStats stats;
+  std::vector<DeterminedPattern> patterns;
+  {
+    obs::TraceSpan search_span("search");
+    patterns = DetermineBestPatterns(provider_.get(), resolved_.lhs.size(),
+                                     resolved_.rhs.size(), builder_->dmax(),
+                                     da, &stats);
+  }
+  PublishDetermineMetrics(stats, provider_->stats());
+  redetermine_counter.Increment();
+  ++redeterminations_;
+  outcome->redetermined = true;
+  if (patterns.empty()) return;  // Nothing beat the zero bound; keep as-is.
+
+  const bool changed =
+      !has_published_ || !(patterns[0].pattern == published_.pattern);
+  published_ = patterns[0];
+  published_gap_ =
+      patterns.size() > 1 ? patterns[0].utility - patterns[1].utility : 0.0;
+  published_utility_ = utility;
+  has_published_ = true;
+
+  ThresholdUpdate update;
+  update.batch_seq = batch_seq_;
+  update.reason = reason;
+  update.published = published_;
+  update.utility_gap = published_gap_;
+  update.changed = changed;
+  updates_.push_back(update);
+  outcome->update = std::move(update);
+  DD_LOG(INFO) << "batch " << batch_seq_ << ": re-determined ("
+               << UpdateReasonName(reason) << "), published "
+               << PatternToString(published_.pattern) << " utility "
+               << published_.utility << " gap " << published_gap_
+               << (changed ? "" : " (unchanged)");
+}
+
+}  // namespace dd

@@ -51,14 +51,22 @@ Level BucketDistance(double raw, double scale, int dmax) {
   return static_cast<Level>(level);
 }
 
-Result<MatchingRelation> BuildMatchingRelation(
-    const Relation& relation, const std::vector<std::string>& attributes,
+void ResolvedMetrics::ComputeLevels(const Relation& relation, std::uint32_t i,
+                                    std::uint32_t j, Level* levels) const {
+  for (std::size_t a = 0; a < attr_idx.size(); ++a) {
+    const std::string& va = relation.at(i, attr_idx[a]);
+    const std::string& vb = relation.at(j, attr_idx[a]);
+    // The cap at which BoundedDistance may stop early: any raw distance
+    // mapping to >= dmax is equivalent, so raw cap = dmax / scale.
+    const double cap = static_cast<double>(dmax) / scales[a];
+    double raw = metrics[a]->BoundedDistance(va, vb, cap);
+    levels[a] = BucketDistance(raw, scales[a], dmax);
+  }
+}
+
+Result<ResolvedMetrics> ResolveMatchingMetrics(
+    const Schema& schema, const std::vector<std::string>& attributes,
     const MatchingOptions& options) {
-  obs::TraceSpan span("matching_build");
-  static obs::Counter& pairs_counter =
-      obs::MetricsRegistry::Global().GetCounter("matching.pairs_computed");
-  static obs::Counter& distance_counter =
-      obs::MetricsRegistry::Global().GetCounter("matching.distances_computed");
   if (options.dmax < 1 || options.dmax > 255) {
     return Status::InvalidArgument(
         StrFormat("dmax %d outside [1, 255]", options.dmax));
@@ -66,15 +74,12 @@ Result<MatchingRelation> BuildMatchingRelation(
   if (attributes.empty()) {
     return Status::InvalidArgument("no attributes given");
   }
-  DD_ASSIGN_OR_RETURN(std::vector<std::size_t> attr_idx,
-                      relation.schema().ResolveAll(attributes));
-
-  // Resolve metric and scale per attribute.
-  std::vector<std::unique_ptr<DistanceMetric>> metrics;
-  std::vector<double> scales;
-  metrics.reserve(attributes.size());
+  ResolvedMetrics resolved;
+  resolved.dmax = options.dmax;
+  DD_ASSIGN_OR_RETURN(resolved.attr_idx, schema.ResolveAll(attributes));
+  resolved.metrics.reserve(attributes.size());
   for (std::size_t a = 0; a < attributes.size(); ++a) {
-    const Attribute& attr = relation.schema().attribute(attr_idx[a]);
+    const Attribute& attr = schema.attribute(resolved.attr_idx[a]);
     std::string metric_name =
         attr.type == AttributeType::kNumeric ? "numeric_abs" : "levenshtein";
     auto it = options.metric_overrides.find(attr.name);
@@ -88,33 +93,34 @@ Result<MatchingRelation> BuildMatchingRelation(
     if (!(scale > 0.0)) {
       return Status::InvalidArgument("scale must be positive for " + attr.name);
     }
-    metrics.push_back(std::move(metric));
-    scales.push_back(scale);
+    resolved.metrics.push_back(std::move(metric));
+    resolved.scales.push_back(scale);
   }
+  return resolved;
+}
+
+Result<MatchingRelation> BuildMatchingRelation(
+    const Relation& relation, const std::vector<std::string>& attributes,
+    const MatchingOptions& options) {
+  obs::TraceSpan span("matching_build");
+  static obs::Counter& pairs_counter =
+      obs::MetricsRegistry::Global().GetCounter("matching.pairs_computed");
+  static obs::Counter& distance_counter =
+      obs::MetricsRegistry::Global().GetCounter("matching.distances_computed");
+  DD_ASSIGN_OR_RETURN(
+      ResolvedMetrics resolved,
+      ResolveMatchingMetrics(relation.schema(), attributes, options));
 
   const std::uint64_t n = relation.num_rows();
   const std::uint64_t total_pairs = n * (n - 1) / 2;
   MatchingRelation out(attributes, options.dmax);
-
-  // The cap at which BoundedDistance may stop early: any raw distance
-  // mapping to >= dmax is equivalent, so raw cap = dmax / scale.
-  auto compute_levels = [&](std::uint32_t i, std::uint32_t j,
-                            std::vector<Level>* levels) {
-    for (std::size_t a = 0; a < attr_idx.size(); ++a) {
-      const std::string& va = relation.at(i, attr_idx[a]);
-      const std::string& vb = relation.at(j, attr_idx[a]);
-      const double cap = static_cast<double>(options.dmax) / scales[a];
-      double raw = metrics[a]->BoundedDistance(va, vb, cap);
-      (*levels)[a] = BucketDistance(raw, scales[a], options.dmax);
-    }
-  };
 
   std::vector<Level> levels(attributes.size());
   if (options.max_pairs == 0 || options.max_pairs >= total_pairs) {
     out.Reserve(total_pairs);
     for (std::uint32_t i = 0; i < n; ++i) {
       for (std::uint32_t j = i + 1; j < n; ++j) {
-        compute_levels(i, j, &levels);
+        resolved.ComputeLevels(relation, i, j, levels.data());
         out.AddTuple(i, j, levels);
       }
     }
@@ -140,7 +146,7 @@ Result<MatchingRelation> BuildMatchingRelation(
   out.Reserve(ks.size());
   for (std::uint64_t k : ks) {
     auto [i, j] = DecodePair(k, n);
-    compute_levels(i, j, &levels);
+    resolved.ComputeLevels(relation, i, j, levels.data());
     out.AddTuple(i, j, levels);
   }
   pairs_counter.Add(ks.size());

@@ -9,12 +9,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "data/relation.h"
 #include "matching/matching_relation.h"
+#include "metric/metric.h"
 
 namespace dd {
 
@@ -41,6 +43,33 @@ struct MatchingOptions {
   // full domain). Overrides replace the default per attribute.
   std::map<std::string, double> scale_overrides;
 };
+
+// Metric machinery resolved once per (schema, attributes, options):
+// schema column of every matching attribute, its distance metric, and
+// its level scale. Shared by the one-shot build below and the
+// incremental builder (incr/incremental_builder.h), which keeps one
+// resolution alive across many delta batches.
+struct ResolvedMetrics {
+  std::vector<std::size_t> attr_idx;  // schema columns, one per attribute
+  std::vector<std::unique_ptr<DistanceMetric>> metrics;
+  std::vector<double> scales;
+  int dmax = 10;
+
+  std::size_t num_attributes() const { return attr_idx.size(); }
+
+  // Bucketed distance levels of the data-tuple pair (i, j) of
+  // `relation`; `levels` must hold num_attributes() entries. Uses each
+  // metric's BoundedDistance early-exit at the level-dmax raw cap.
+  void ComputeLevels(const Relation& relation, std::uint32_t i,
+                     std::uint32_t j, Level* levels) const;
+};
+
+// Resolves metrics and scales for `attributes` against `schema`. Fails
+// on unknown attributes/metrics, non-positive scales, or a dmax outside
+// [1, 255].
+Result<ResolvedMetrics> ResolveMatchingMetrics(
+    const Schema& schema, const std::vector<std::string>& attributes,
+    const MatchingOptions& options);
 
 // Builds M over `attributes` (the union of the rule's X and Y). Fails on
 // unknown attributes/metrics or a dmax outside [1, 255].

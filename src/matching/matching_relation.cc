@@ -1,5 +1,7 @@
 #include "matching/matching_relation.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace dd {
@@ -25,6 +27,55 @@ void MatchingRelation::AddTuple(std::uint32_t i, std::uint32_t j,
 void MatchingRelation::Reserve(std::size_t rows) {
   for (auto& col : columns_) col.reserve(rows);
   pairs_.reserve(rows);
+}
+
+std::vector<Level> MatchingRelation::RowLevels(std::size_t row) const {
+  DD_CHECK_LT(row, pairs_.size());
+  std::vector<Level> levels(columns_.size());
+  for (std::size_t a = 0; a < columns_.size(); ++a) {
+    levels[a] = columns_[a][row];
+  }
+  return levels;
+}
+
+void MatchingRelation::RemoveRows(const std::vector<std::uint32_t>& rows) {
+  if (rows.empty()) return;
+  const std::size_t m = pairs_.size();
+  std::size_t write = 0;
+  std::size_t next = 0;  // next index into `rows` to skip
+  for (std::size_t read = 0; read < m; ++read) {
+    if (next < rows.size() && rows[next] == read) {
+      DD_CHECK(next + 1 == rows.size() || rows[next + 1] > rows[next]);
+      ++next;
+      continue;
+    }
+    if (write != read) {
+      pairs_[write] = pairs_[read];
+      for (auto& col : columns_) col[write] = col[read];
+    }
+    ++write;
+  }
+  DD_CHECK_EQ(next, rows.size());
+  pairs_.resize(write);
+  for (auto& col : columns_) col.resize(write);
+}
+
+void MatchingRelation::SortByPairs() {
+  const std::size_t m = pairs_.size();
+  std::vector<std::uint32_t> order(m);
+  for (std::size_t r = 0; r < m; ++r) order[r] = static_cast<std::uint32_t>(r);
+  std::sort(order.begin(), order.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return pairs_[a] < pairs_[b];
+            });
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sorted_pairs(m);
+  for (std::size_t r = 0; r < m; ++r) sorted_pairs[r] = pairs_[order[r]];
+  pairs_ = std::move(sorted_pairs);
+  std::vector<Level> sorted_col(m);
+  for (auto& col : columns_) {
+    for (std::size_t r = 0; r < m; ++r) sorted_col[r] = col[order[r]];
+    col.swap(sorted_col);
+  }
 }
 
 }  // namespace dd

@@ -61,6 +61,21 @@ class MatchingRelation {
   void AddTuple(std::uint32_t i, std::uint32_t j,
                 const std::vector<Level>& levels);
 
+  // Level vector of matching tuple `row` across all attributes (a
+  // gather over the columnar storage; delta capture, not a hot path).
+  std::vector<Level> RowLevels(std::size_t row) const;
+
+  // Removes the matching tuples at `rows` (ascending, unique indices),
+  // preserving the relative order of the survivors. One O(M) compaction
+  // pass over every column — the incremental-maintenance delete path.
+  void RemoveRows(const std::vector<std::uint32_t>& rows);
+
+  // Reorders matching tuples into ascending (i, j) pair order — the
+  // order a from-scratch full-enumeration build produces. Counting is
+  // order-independent; this exists so delta-maintained and rebuilt
+  // relations can be compared for exact equality.
+  void SortByPairs();
+
   void Reserve(std::size_t rows);
 
  private:

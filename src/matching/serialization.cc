@@ -11,7 +11,10 @@ namespace dd {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'D', 'M', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// Version 1 is the legacy checksum-less layout; version 2 (current,
+// kMatchingFormatVersion) inserts a u64 FNV-1a of the body after the
+// version word. See serialization.h for the full history.
+constexpr std::uint32_t kLegacyVersion = 1;
 
 // Bounds-checked little reader over the byte buffer.
 class Reader {
@@ -56,43 +59,80 @@ void Append(std::string* out, const T& value) {
   out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
+// Parses the version-independent body (everything after the header).
+Result<MatchingRelation> ParseBody(std::string_view body);
+
 }  // namespace
 
-std::string SerializeMatchingRelation(const MatchingRelation& matching) {
-  std::string out;
-  out.append(kMagic, sizeof(kMagic));
-  Append(&out, kVersion);
-  Append(&out, static_cast<std::int32_t>(matching.dmax()));
-  Append(&out, static_cast<std::uint32_t>(matching.num_attributes()));
-  for (const auto& name : matching.attribute_names()) {
-    Append(&out, static_cast<std::uint32_t>(name.size()));
-    out.append(name);
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (unsigned char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(c);
+    hash *= 0x100000001b3ULL;  // FNV prime
   }
-  Append(&out, static_cast<std::uint64_t>(matching.num_tuples()));
+  return hash;
+}
+
+std::string SerializeMatchingRelation(const MatchingRelation& matching) {
+  std::string body;
+  Append(&body, static_cast<std::int32_t>(matching.dmax()));
+  Append(&body, static_cast<std::uint32_t>(matching.num_attributes()));
+  for (const auto& name : matching.attribute_names()) {
+    Append(&body, static_cast<std::uint32_t>(name.size()));
+    body.append(name);
+  }
+  Append(&body, static_cast<std::uint64_t>(matching.num_tuples()));
   for (const auto& [i, j] : matching.pairs()) {
-    Append(&out, i);
-    Append(&out, j);
+    Append(&body, i);
+    Append(&body, j);
   }
   for (std::size_t a = 0; a < matching.num_attributes(); ++a) {
     const auto& column = matching.column(a);
-    out.append(reinterpret_cast<const char*>(column.data()), column.size());
+    body.append(reinterpret_cast<const char*>(column.data()), column.size());
   }
+
+  std::string out;
+  out.reserve(body.size() + 16);
+  out.append(kMagic, sizeof(kMagic));
+  Append(&out, kMatchingFormatVersion);
+  Append(&out, Fnv1a64(body));
+  out.append(body);
   return out;
 }
 
 Result<MatchingRelation> DeserializeMatchingRelation(std::string_view bytes) {
-  Reader reader(bytes);
+  Reader header(bytes);
   char magic[4];
-  DD_RETURN_IF_ERROR(reader.ReadBytes(magic, sizeof(magic)));
+  DD_RETURN_IF_ERROR(header.ReadBytes(magic, sizeof(magic)));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("bad magic: not a matching-relation file");
   }
   std::uint32_t version = 0;
-  DD_RETURN_IF_ERROR(reader.Read(&version));
-  if (version != kVersion) {
+  DD_RETURN_IF_ERROR(header.Read(&version));
+  if (version == kLegacyVersion) {
+    // Legacy pre-checksum layout: the body follows immediately; no
+    // integrity check possible beyond the structural validation below.
+    return ParseBody(bytes.substr(sizeof(kMagic) + sizeof(version)));
+  }
+  if (version != kMatchingFormatVersion) {
     return Status::InvalidArgument(
         StrFormat("unsupported matching-relation version %u", version));
   }
+  std::uint64_t checksum = 0;
+  DD_RETURN_IF_ERROR(header.Read(&checksum));
+  const std::string_view body =
+      bytes.substr(sizeof(kMagic) + sizeof(version) + sizeof(checksum));
+  if (Fnv1a64(body) != checksum) {
+    return Status::InvalidArgument(
+        "checksum mismatch: corrupted matching-relation data");
+  }
+  return ParseBody(body);
+}
+
+namespace {
+
+Result<MatchingRelation> ParseBody(std::string_view body) {
+  Reader reader(body);
   std::int32_t dmax = 0;
   DD_RETURN_IF_ERROR(reader.Read(&dmax));
   if (dmax < 1 || dmax > 255) {
@@ -115,7 +155,7 @@ Result<MatchingRelation> DeserializeMatchingRelation(std::string_view bytes) {
   // Sanity bound: the remaining bytes must cover pairs + columns.
   const std::uint64_t needed =
       tuples * (2 * sizeof(std::uint32_t) + num_attrs);
-  if (needed > bytes.size()) {
+  if (needed > body.size()) {
     return Status::InvalidArgument("truncated matching-relation payload");
   }
 
@@ -146,6 +186,8 @@ Result<MatchingRelation> DeserializeMatchingRelation(std::string_view bytes) {
   }
   return matching;
 }
+
+}  // namespace
 
 Status WriteMatchingFile(const MatchingRelation& matching,
                          const std::string& path) {

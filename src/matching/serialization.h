@@ -5,15 +5,26 @@
 //
 // Format (little-endian, host-order — not a cross-architecture
 // interchange format):
-//   magic "DDMR" | u32 version | i32 dmax | u32 num_attributes
-//   per attribute: u32 name length | name bytes
-//   u64 num_tuples
-//   pairs: num_tuples x (u32 i, u32 j)
-//   columns: num_attributes x (num_tuples x u8 level)
+//   magic "DDMR" | u32 format version | u64 FNV-1a checksum of the body
+//   body:
+//     i32 dmax | u32 num_attributes
+//     per attribute: u32 name length | name bytes
+//     u64 num_tuples
+//     pairs: num_tuples x (u32 i, u32 j)
+//     columns: num_attributes x (num_tuples x u8 level)
+//
+// Version history:
+//   1 — legacy, pre-incremental-maintenance: no checksum; the body
+//       follows the version word directly. Still readable.
+//   2 — current (written since the delta format of src/incr): a 64-bit
+//       FNV-1a checksum of the body sits between the header and the
+//       body, so relations written before/after the delta era are
+//       distinguishable by version and corruption is detected on load.
 
 #ifndef DD_MATCHING_SERIALIZATION_H_
 #define DD_MATCHING_SERIALIZATION_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
@@ -21,9 +32,17 @@
 
 namespace dd {
 
+// The format version SerializeMatchingRelation writes.
+inline constexpr std::uint32_t kMatchingFormatVersion = 2;
+
+// FNV-1a 64-bit hash over `bytes` (exposed for tests and external
+// integrity checks of .ddmr files).
+std::uint64_t Fnv1a64(std::string_view bytes);
+
 // Serializes to an in-memory buffer / parses one back. Parsing is
 // defensive: truncated or corrupted buffers yield InvalidArgument, not
-// crashes.
+// crashes; on version-2 buffers the checksum is verified before the
+// body is interpreted.
 std::string SerializeMatchingRelation(const MatchingRelation& matching);
 Result<MatchingRelation> DeserializeMatchingRelation(std::string_view bytes);
 

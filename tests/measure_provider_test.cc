@@ -108,6 +108,49 @@ TEST(ProviderStatsTest, CountersTrackWork) {
   EXPECT_EQ(provider.stats().xy_evaluations, 0u);
 }
 
+TEST(ProviderStatsTest, KnownCountPathCountsLhsEvaluations) {
+  // SetLhsWithKnownCount must be counted in lhs_evaluations on every
+  // provider — full-scan, subset, and grid — exactly like SetLhs, so
+  // the counter always means "LHS candidates processed" (DAP hands the
+  // provider precomputed D(ϕ) counts through this path, and stats must
+  // not depend on which entry point the search used).
+  MatchingRelation m = TinyMatching();
+  ResolvedRule rule = XyRule();
+  ScanMeasureProvider full(m, rule, /*full_scan=*/true);
+  ScanMeasureProvider subset(m, rule, /*full_scan=*/false);
+  auto grid = GridMeasureProvider::Create(m, rule);
+  ASSERT_TRUE(grid.ok());
+  MeasureProvider* providers[] = {&full, &subset, grid.value().get()};
+  for (MeasureProvider* provider : providers) {
+    provider->SetLhs({2});
+    const std::uint64_t known_count = provider->lhs_count();
+    provider->ResetStats();
+    provider->SetLhsWithKnownCount({2}, known_count);
+    provider->CountXY({3});
+    EXPECT_EQ(provider->stats().lhs_evaluations, 1u);
+    EXPECT_EQ(provider->lhs_count(), known_count);
+  }
+}
+
+TEST(ProviderStatsTest, GridNeverScansRows) {
+  // rows_scanned counts query-time scans only; the grid provider
+  // answers everything from its prefix-sum grid, so the counter must
+  // stay 0 by contract (build cost is reported via the grid_build span
+  // and provider.grid_cells gauge, not here).
+  MatchingRelation m = RandomMatching(2, 6, 200, 37);
+  ResolvedRule rule{{0}, {1}};
+  auto grid = GridMeasureProvider::Create(m, rule);
+  ASSERT_TRUE(grid.ok());
+  for (int x = 0; x <= 6; ++x) {
+    grid.value()->SetLhs({x});
+    grid.value()->SetLhsWithKnownCount({x}, grid.value()->lhs_count());
+    for (int y = 0; y <= 6; ++y) grid.value()->CountXY({y});
+  }
+  EXPECT_EQ(grid.value()->stats().rows_scanned, 0u);
+  EXPECT_GT(grid.value()->stats().lhs_evaluations, 0u);
+  EXPECT_GT(grid.value()->stats().xy_evaluations, 0u);
+}
+
 TEST(MakeMeasureProviderTest, FactoryKinds) {
   MatchingRelation m = TinyMatching();
   ResolvedRule rule = XyRule();

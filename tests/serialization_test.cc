@@ -1,6 +1,7 @@
 #include "matching/serialization.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -19,6 +20,16 @@ void ExpectEqualMatching(const MatchingRelation& a, const MatchingRelation& b) {
   for (std::size_t c = 0; c < a.num_attributes(); ++c) {
     EXPECT_EQ(a.column(c), b.column(c)) << "column " << c;
   }
+}
+
+// Splices a current-format payload into the legacy v1 layout: magic,
+// version word 1, body — no checksum word.
+std::string MakeLegacyV1(const std::string& v2) {
+  std::string v1 = v2.substr(0, 4);
+  const std::uint32_t version = 1;
+  v1.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  v1 += v2.substr(16);  // Skip magic + version + checksum.
+  return v1;
 }
 
 TEST(SerializationTest, RoundTripInMemory) {
@@ -76,9 +87,55 @@ TEST(SerializationTest, TrailingGarbageRejected) {
 TEST(SerializationTest, CorruptLevelRejected) {
   MatchingRelation m({"a"}, 3);
   m.AddTuple(0, 1, {2});
-  std::string bytes = SerializeMatchingRelation(m);
+  // The legacy layout has no checksum, so the corruption must reach
+  // (and be caught by) structural validation of the body.
+  std::string bytes = MakeLegacyV1(SerializeMatchingRelation(m));
   bytes.back() = static_cast<char>(200);  // Level 200 > dmax 3.
   EXPECT_FALSE(DeserializeMatchingRelation(bytes).ok());
+}
+
+TEST(SerializationTest, ChecksumDetectsBodyCorruption) {
+  std::string bytes =
+      SerializeMatchingRelation(testutil::RandomMatching(2, 5, 40, 3));
+  // Flip one bit in every body byte position class: first, middle, last.
+  for (std::size_t pos : {std::size_t{16}, (16 + bytes.size()) / 2,
+                          bytes.size() - 1}) {
+    std::string corrupted = bytes;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x20);
+    auto back = DeserializeMatchingRelation(corrupted);
+    ASSERT_FALSE(back.ok()) << "corruption at byte " << pos;
+    EXPECT_NE(back.status().ToString().find("checksum"), std::string::npos)
+        << back.status();
+  }
+}
+
+TEST(SerializationTest, LegacyV1StillReadable) {
+  MatchingRelation m = testutil::RandomMatching(3, 7, 120, 11);
+  std::string v1 = MakeLegacyV1(SerializeMatchingRelation(m));
+  auto back = DeserializeMatchingRelation(v1);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ExpectEqualMatching(m, *back);
+}
+
+TEST(SerializationTest, FutureVersionRejected) {
+  std::string bytes =
+      SerializeMatchingRelation(testutil::RandomMatching(2, 5, 20, 1));
+  const std::uint32_t version = kMatchingFormatVersion + 1;
+  std::memcpy(bytes.data() + 4, &version, sizeof(version));
+  auto back = DeserializeMatchingRelation(bytes);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().ToString().find("unsupported"), std::string::npos)
+      << back.status();
+}
+
+TEST(SerializationTest, ChecksumIsDeterministic) {
+  // Same relation, two serializations: byte-identical (the checksum is
+  // a pure function of the body).
+  MatchingRelation m = testutil::RandomMatching(2, 6, 64, 5);
+  EXPECT_EQ(SerializeMatchingRelation(m), SerializeMatchingRelation(m));
+  // Known-answer check pinning the FNV-1a constants.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
 }
 
 TEST(SerializationTest, MissingFileFails) {

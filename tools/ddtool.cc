@@ -23,9 +23,26 @@
 // stderr (default warn).
 //   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
 //                    [--dmax 10] [--max-pairs 50000]
+//   ddtool append    --rows new.csv --lhs a,b --rhs c [--input base.csv]
+//                    [--batch 16] [--retire 0] [--drift 0.5]
+//                    [--dmax 10] [--metric ...] [--algo ...] [--json]
+//                    [--trace_json report.json]
+//                    (feeds base.csv, then new.csv in --batch-row
+//                     batches, through the incremental maintenance
+//                     engine; --retire k deletes the k oldest live rows
+//                     per batch; --drift sets the re-determination
+//                     drift bound as a fraction of the published
+//                     pattern's utility lead, negative = re-determine
+//                     every batch; prints the final threshold)
+//   ddtool watch     same flags as append, but streams one change-feed
+//                    line per batch (drift, bound, re-determined or
+//                    kept, published pattern) instead of only the
+//                    final state
 //
 // Exit status 0 on success, 1 on bad usage or data errors.
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -36,6 +53,7 @@
 #include "core/determiner.h"
 #include "core/result_filter.h"
 #include "core/result_io.h"
+#include "incr/maintenance.h"
 #include "data/corruptor.h"
 #include "data/csv.h"
 #include "data/generators.h"
@@ -50,7 +68,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ddtool <generate|determine|detect|discover> [flags]\n"
+               "usage: ddtool "
+               "<generate|determine|detect|discover|append|watch> [flags]\n"
                "see the header of tools/ddtool.cc or README.md for flags\n");
   return 1;
 }
@@ -83,6 +102,33 @@ dd::Result<dd::MatchingOptions> MatchingFromFlags(const dd::ArgParser& args) {
   options.max_pairs = static_cast<std::size_t>(max_pairs);
   options.seed = static_cast<std::uint64_t>(seed);
   DD_RETURN_IF_ERROR(ApplyMetricFlags(args, &options));
+  return options;
+}
+
+// Shared by determine / append / watch: --top, --algo, --order,
+// --provider.
+dd::Result<dd::DetermineOptions> DetermineFromFlags(const dd::ArgParser& args) {
+  dd::DetermineOptions options;
+  DD_ASSIGN_OR_RETURN(std::int64_t top, args.GetInt("top", 5));
+  options.top_l = static_cast<std::size_t>(top);
+  options.provider = args.GetString("provider", "scan");
+  const std::string algo = args.GetString("algo", "DAP+PAP");
+  if (algo == "DA+PA") {
+    options.lhs_algorithm = dd::LhsAlgorithm::kDa;
+    options.rhs_algorithm = dd::RhsAlgorithm::kPa;
+  } else if (algo == "DA+PAP") {
+    options.lhs_algorithm = dd::LhsAlgorithm::kDa;
+    options.rhs_algorithm = dd::RhsAlgorithm::kPap;
+    options.order = dd::ProcessingOrder::kMidFirst;
+  } else if (algo == "DAP+PAP") {
+    options.lhs_algorithm = dd::LhsAlgorithm::kDap;
+    options.rhs_algorithm = dd::RhsAlgorithm::kPap;
+  } else {
+    return dd::Status::InvalidArgument("--algo must be DA+PA|DA+PAP|DAP+PAP");
+  }
+  if (args.GetString("order", "top") == "mid") {
+    options.order = dd::ProcessingOrder::kMidFirst;
+  }
   return options;
 }
 
@@ -268,35 +314,16 @@ int RunDetermine(const dd::ArgParser& args) {
     std::printf("saved matching relation to %s\n", save_matching.c_str());
   }
 
-  dd::DetermineOptions doptions;
-  auto top = args.GetInt("top", 5);
-  if (!top.ok()) return Fail(top.status());
-  doptions.top_l = static_cast<std::size_t>(*top);
-  doptions.provider = args.GetString("provider", "scan");
-  const std::string algo = args.GetString("algo", "DAP+PAP");
-  if (algo == "DA+PA") {
-    doptions.lhs_algorithm = dd::LhsAlgorithm::kDa;
-    doptions.rhs_algorithm = dd::RhsAlgorithm::kPa;
-  } else if (algo == "DA+PAP") {
-    doptions.lhs_algorithm = dd::LhsAlgorithm::kDa;
-    doptions.rhs_algorithm = dd::RhsAlgorithm::kPap;
-    doptions.order = dd::ProcessingOrder::kMidFirst;
-  } else if (algo == "DAP+PAP") {
-    doptions.lhs_algorithm = dd::LhsAlgorithm::kDap;
-    doptions.rhs_algorithm = dd::RhsAlgorithm::kPap;
-  } else {
-    return Fail(dd::Status::InvalidArgument("--algo must be DA+PA|DA+PAP|DAP+PAP"));
-  }
-  if (args.GetString("order", "top") == "mid") {
-    doptions.order = dd::ProcessingOrder::kMidFirst;
-  }
+  auto doptions = DetermineFromFlags(args);
+  if (!doptions.ok()) return Fail(doptions.status());
 
-  auto result = dd::DetermineThresholds(*matching, rule, doptions);
+  auto result = dd::DetermineThresholds(*matching, rule, *doptions);
   if (!result.ok()) return Fail(result.status());
   if (args.Has("collapse")) {
     result->patterns = dd::CollapseEquivalent(std::move(result->patterns));
   }
-  dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool determine " + algo);
+  dd::Status trace_status = MaybeWriteTraceReport(
+      args, "ddtool determine " + args.GetString("algo", "DAP+PAP"));
   if (!trace_status.ok()) return Fail(trace_status);
   if (args.Has("json")) {
     std::printf("%s\n", dd::DetermineResultToJson(*result, rule).c_str());
@@ -396,6 +423,158 @@ int RunDiscover(const dd::ArgParser& args) {
   return 0;
 }
 
+// Shared driver of `append` (prints the final state) and `watch`
+// (streams one change-feed line per batch). Feeds --input as the first
+// batch, then --rows in --batch-row chunks; --retire k deletes the k
+// oldest live tuples with every chunk to exercise the delete path.
+int RunIncremental(const dd::ArgParser& args, bool watch) {
+  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
+  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
+  if (lhs.empty() || rhs.empty()) {
+    return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
+  }
+  const std::string rows_path = args.GetString("rows");
+  if (rows_path.empty()) {
+    return Fail(
+        dd::Status::InvalidArgument("--rows (CSV of rows to append) required"));
+  }
+  auto rows = dd::ReadCsvFile(rows_path);
+  if (!rows.ok()) return Fail(rows.status());
+
+  dd::Relation base;
+  const std::string input = args.GetString("input");
+  if (!input.empty()) {
+    auto base_rel = dd::ReadCsvFile(input);
+    if (!base_rel.ok()) return Fail(base_rel.status());
+    if (!(base_rel->schema() == rows->schema())) {
+      return Fail(dd::Status::InvalidArgument(
+          "--input and --rows disagree on schema: " +
+          base_rel->schema().ToString() + " vs " + rows->schema().ToString()));
+    }
+    base = std::move(*base_rel);
+  }
+
+  dd::MaintenanceOptions options;
+  auto moptions = MatchingFromFlags(args);
+  if (!moptions.ok()) return Fail(moptions.status());
+  options.incremental.matching = *moptions;
+  auto doptions = DetermineFromFlags(args);
+  if (!doptions.ok()) return Fail(doptions.status());
+  options.determine = *doptions;
+  auto drift = args.GetDouble("drift", 0.5);
+  if (!drift.ok()) return Fail(drift.status());
+  options.drift_fraction = *drift;
+  auto batch = args.GetInt("batch", 16);
+  if (!batch.ok()) return Fail(batch.status());
+  if (*batch < 1) {
+    return Fail(dd::Status::InvalidArgument("--batch must be >= 1"));
+  }
+  auto retire = args.GetInt("retire", 0);
+  if (!retire.ok()) return Fail(retire.status());
+  const std::size_t batch_rows = static_cast<std::size_t>(*batch);
+  const std::size_t retire_rows =
+      *retire < 0 ? 0 : static_cast<std::size_t>(*retire);
+
+  auto engine = dd::MaintenanceEngine::Create(
+      rows->schema(), dd::RuleSpec{std::move(lhs), std::move(rhs)}, options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  const bool json = args.Has("json");
+  auto feed = [&](const std::vector<std::vector<std::string>>& inserts,
+                  const std::vector<std::uint32_t>& deletes) -> dd::Status {
+    auto outcome = engine->ApplyBatch(inserts, deletes);
+    if (!outcome.ok()) return outcome.status();
+    if (!watch) return dd::Status::Ok();
+    const dd::BatchOutcome& o = *outcome;
+    const dd::DeterminedPattern* pub = engine->published();
+    const std::string pattern =
+        pub ? dd::PatternToString(pub->pattern) : std::string("none");
+    if (json) {
+      std::printf(
+          "{\"batch\":%llu,\"inserts\":%zu,\"deletes\":%zu,"
+          "\"pairs_computed\":%zu,\"rows_removed\":%zu,\"drift\":%.6g,"
+          "\"bound\":%.6g,\"redetermined\":%s,\"published\":\"%s\","
+          "\"utility\":%.6g}\n",
+          static_cast<unsigned long long>(o.batch_seq), inserts.size(),
+          deletes.size(), o.pairs_computed, o.matching_removed, o.drift,
+          o.bound, o.redetermined ? "true" : "false", pattern.c_str(),
+          pub ? pub->utility : 0.0);
+    } else {
+      std::printf(
+          "batch %llu: +%zu/-%zu rows, %zu pairs computed, drift %.4g "
+          "(bound %.4g) -> %s, published %s (utility %.4f)\n",
+          static_cast<unsigned long long>(o.batch_seq), inserts.size(),
+          deletes.size(), o.pairs_computed, o.drift, o.bound,
+          o.redetermined ? "re-determined" : "kept", pattern.c_str(),
+          pub ? pub->utility : 0.0);
+    }
+    return dd::Status::Ok();
+  };
+
+  if (base.num_rows() > 0) {
+    std::vector<std::vector<std::string>> inserts;
+    inserts.reserve(base.num_rows());
+    for (std::size_t r = 0; r < base.num_rows(); ++r) {
+      inserts.push_back(base.row(r));
+    }
+    dd::Status fed = feed(inserts, {});
+    if (!fed.ok()) return Fail(fed);
+  }
+  for (std::size_t begin = 0; begin < rows->num_rows(); begin += batch_rows) {
+    const std::size_t end = std::min(begin + batch_rows, rows->num_rows());
+    std::vector<std::vector<std::string>> inserts;
+    inserts.reserve(end - begin);
+    for (std::size_t r = begin; r < end; ++r) inserts.push_back(rows->row(r));
+    std::vector<std::uint32_t> deletes;
+    if (retire_rows > 0) {
+      const std::vector<std::uint32_t> live = engine->builder().store().LiveIds();
+      deletes.assign(live.begin(),
+                     live.begin() + std::min(retire_rows, live.size()));
+    }
+    dd::Status fed = feed(inserts, deletes);
+    if (!fed.ok()) return Fail(fed);
+  }
+
+  dd::Status trace_status =
+      MaybeWriteTraceReport(args, watch ? "ddtool watch" : "ddtool append");
+  if (!trace_status.ok()) return Fail(trace_status);
+
+  const dd::DeterminedPattern* pub = engine->published();
+  const std::string pattern =
+      pub ? dd::PatternToString(pub->pattern) : std::string("none");
+  if (json) {
+    if (!watch) {
+      std::printf(
+          "{\"live\":%zu,\"matching\":%zu,\"redeterminations\":%llu,"
+          "\"skipped\":%llu,\"updates\":%zu,\"published\":\"%s\","
+          "\"utility\":%.6g}\n",
+          engine->builder().store().num_live(),
+          engine->builder().matching().num_tuples(),
+          static_cast<unsigned long long>(engine->redeterminations()),
+          static_cast<unsigned long long>(engine->skipped()),
+          engine->updates().size(), pattern.c_str(),
+          pub ? pub->utility : 0.0);
+    }
+    return 0;  // Watch keeps stdout to feed lines only under --json.
+  }
+  std::printf(
+      "final: %zu live tuples, %zu matching tuples, %llu re-determinations "
+      "(%llu skipped), %zu threshold update(s)\n",
+      engine->builder().store().num_live(),
+      engine->builder().matching().num_tuples(),
+      static_cast<unsigned long long>(engine->redeterminations()),
+      static_cast<unsigned long long>(engine->skipped()),
+      engine->updates().size());
+  if (pub != nullptr) {
+    std::printf("published %s  D=%.4f C=%.4f S=%.4f Q=%.2f utility=%.4f\n",
+                pattern.c_str(), pub->measures.d, pub->measures.confidence,
+                pub->measures.support, pub->measures.quality, pub->utility);
+  } else {
+    std::printf("no threshold published (empty instance)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -406,5 +585,7 @@ int main(int argc, char** argv) {
   if (command == "determine") return RunDetermine(args);
   if (command == "detect") return RunDetect(args);
   if (command == "discover") return RunDiscover(args);
+  if (command == "append") return RunIncremental(args, /*watch=*/false);
+  if (command == "watch") return RunIncremental(args, /*watch=*/true);
   return Usage();
 }
