@@ -130,6 +130,27 @@ std::string PhaseTimingsJson() {
   return out;
 }
 
+std::string HistogramPercentilesJson() {
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += "\"";
+    out += h.name;
+    out += StrFormat("\": {\"count\": %llu, \"p50\": %.4f, \"p95\": %.4f, "
+                     "\"p99\": %.4f}",
+                     static_cast<unsigned long long>(h.count),
+                     obs::HistogramPercentile(h, 0.50),
+                     obs::HistogramPercentile(h, 0.95),
+                     obs::HistogramPercentile(h, 0.99));
+  }
+  out += "}";
+  return out;
+}
+
 DetermineOptions ApproachOptions(const std::string& approach,
                                  std::size_t top_l) {
   DetermineOptions opts;

@@ -72,6 +72,13 @@ void ResetPhaseTimings();
 // Returns "{}" when no determine span has been recorded.
 std::string PhaseTimingsJson();
 
+// One-line JSON object with percentile estimates for every non-empty
+// histogram in the global metrics registry, e.g.
+//   {"pa.evaluated_per_lhs": {"count": 77, "p50": 9.2, "p95": 14.9,
+//    "p99": 15.8}}
+// Returns "{}" when no histogram has observations.
+std::string HistogramPercentilesJson();
+
 }  // namespace dd::bench
 
 #endif  // DD_BENCHMARKS_BENCH_UTIL_H_

@@ -8,9 +8,11 @@
 // Besides the human-readable table, every measurement is also emitted
 // as a machine-readable line
 //   BENCH_JSON {"figure": 2, "rule": R, "approach": "...", "pairs": M,
-//               "elapsed_s": T, "phases": {...}}
+//               "elapsed_s": T, "phases": {...}, "histograms": {...}}
 // where "phases" carries the per-phase wall times recorded by the
-// tracing layer (src/obs) — grep '^BENCH_JSON ' to collect them.
+// tracing layer (src/obs) and "histograms" the p50/p95/p99 estimates of
+// every latency histogram touched by the run — grep '^BENCH_JSON ' to
+// collect them.
 
 #include <cstdio>
 #include <string>
@@ -51,6 +53,8 @@ int main() {
             rule.number, a, w.matching.num_tuples(),
             result->elapsed_seconds);
         row += dd::bench::PhaseTimingsJson();
+        row += ", \"histograms\": ";
+        row += dd::bench::HistogramPercentilesJson();
         row += "}";
         json_rows.push_back(std::move(row));
       }

@@ -45,6 +45,20 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
   static obs::Counter& skipped_counter =
       obs::MetricsRegistry::Global().GetCounter(
           "incr.redeterminations_skipped");
+  // Engine-state gauges: these make every sampler frame (obs/export/
+  // sampler.h) carry the batch sequence alongside the counters, so a
+  // frame joins against the `ddtool watch` change feed by
+  // (run_id, incr.batch_seq).
+  static obs::Gauge& batch_gauge =
+      obs::MetricsRegistry::Global().GetGauge("incr.batch_seq");
+  static obs::Gauge& live_gauge =
+      obs::MetricsRegistry::Global().GetGauge("incr.live_tuples");
+  static obs::Gauge& matching_gauge =
+      obs::MetricsRegistry::Global().GetGauge("incr.matching_tuples");
+  static obs::Gauge& drift_gauge =
+      obs::MetricsRegistry::Global().GetGauge("incr.drift");
+  static obs::Gauge& bound_gauge =
+      obs::MetricsRegistry::Global().GetGauge("incr.drift_bound");
 
   DD_ASSIGN_OR_RETURN(MatchingDelta delta,
                       builder_->ApplyBatch(inserts, deletes));
@@ -55,6 +69,9 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
   outcome.pairs_computed = delta.pairs_computed();
   outcome.matching_added = delta.num_added();
   outcome.matching_removed = delta.num_removed();
+  batch_gauge.Set(static_cast<double>(outcome.batch_seq));
+  live_gauge.Set(static_cast<double>(builder_->store().num_live()));
+  matching_gauge.Set(static_cast<double>(builder_->matching().num_tuples()));
 
   // An empty instance has no candidate worth publishing; a previously
   // published pattern stays on the feed until data returns.
@@ -77,6 +94,8 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
   outcome.drift = std::fabs(utility_now - published_.utility);
   const bool force = options_.drift_fraction < 0.0;
   outcome.bound = force ? 0.0 : options_.drift_fraction * published_gap_;
+  drift_gauge.Set(outcome.drift);
+  bound_gauge.Set(outcome.bound);
   if (force || outcome.drift > outcome.bound) {
     Redetermine(UpdateReason::kDrift, &outcome);
   } else {

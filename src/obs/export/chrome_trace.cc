@@ -1,0 +1,76 @@
+#include "obs/export/chrome_trace.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "obs/json_util.h"
+
+namespace dd::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+
+void AppendEvent(const SpanStats& span, int tid, double ts_us, bool* first,
+                 std::string* out) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += StrFormat(
+      "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+      "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"count\":%llu,"
+      "\"self_ms\":%.6f}}",
+      JsonEscape(span.name).c_str(), kPid, tid, ts_us, span.total_seconds * 1e6,
+      static_cast<unsigned long long>(span.count),
+      span.self_seconds * 1e3);
+  // Children occupy consecutive sub-intervals starting at the parent's
+  // ts; their summed duration never exceeds the parent's (self time
+  // fills the tail), so the events nest.
+  double cursor = ts_us;
+  for (const SpanStats& child : span.children) {
+    AppendEvent(child, tid, cursor, first, out);
+    cursor += child.total_seconds * 1e6;
+  }
+}
+
+void AppendMetadata(const char* name, int tid, const std::string& value,
+                    bool* first, std::string* out) {
+  if (!*first) *out += ",";
+  *first = false;
+  *out += StrFormat(
+      "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+      "\"args\":{\"name\":\"%s\"}}",
+      name, kPid, tid, JsonEscape(value).c_str());
+}
+
+}  // namespace
+
+std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendMetadata("process_name", 0, "ddthreshold", &first, &out);
+  // One synthetic track per root: main-thread phases are distinct
+  // roots and worker-thread spans (no enclosing scope) are roots too.
+  for (std::size_t r = 0; r < trace.roots.size(); ++r) {
+    const int tid = static_cast<int>(r) + 1;
+    AppendMetadata("thread_name", tid, trace.roots[r].name, &first, &out);
+    AppendEvent(trace.roots[r], tid, /*ts_us=*/0.0, &first, &out);
+  }
+  out += "]}";
+  return out;
+}
+
+Status WriteChromeTrace(const TraceSnapshot& trace, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  const std::string json = TraceSnapshotToChromeTrace(trace);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool newline = std::fputc('\n', file) != EOF;
+  if (std::fclose(file) != 0 || written != json.size() || !newline) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dd::obs

@@ -1,0 +1,31 @@
+// Chrome trace-event JSON exporter: renders the aggregating span tree
+// as a {"traceEvents":[...]} document loadable by Perfetto and
+// chrome://tracing. The tracer aggregates repeated scopes into one
+// node (count + total time) rather than recording individual events,
+// so the export synthesizes a timeline: every node becomes one
+// complete ("ph":"X") event whose dur is the node's total wall time,
+// children laid out back to back inside their parent's interval.
+// Each root span gets its own tid track — worker-thread spans from
+// common/parallel.h surface as roots, so parallel phases land on
+// separate tracks. The aggregated call count and self time ride along
+// in the event's args.
+
+#ifndef DD_OBS_EXPORT_CHROME_TRACE_H_
+#define DD_OBS_EXPORT_CHROME_TRACE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace dd::obs {
+
+// Renders the snapshot as a complete Chrome trace JSON document.
+std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace);
+
+// Writes TraceSnapshotToChromeTrace(trace) into `path` (overwrites).
+Status WriteChromeTrace(const TraceSnapshot& trace, const std::string& path);
+
+}  // namespace dd::obs
+
+#endif  // DD_OBS_EXPORT_CHROME_TRACE_H_

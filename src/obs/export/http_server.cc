@@ -1,0 +1,162 @@
+#include "obs/export/http_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "obs/export/prometheus.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace dd::obs {
+
+namespace {
+
+// Writes the whole buffer, retrying on short writes / EINTR. Best
+// effort: a client that hangs up mid-response is its own problem.
+void WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status, const std::string& body,
+                         const char* content_type) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(int port) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("metrics port must be in [0, 65535]");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("bind(port " + std::to_string(port) + "): " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("listen(): " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("getsockname(): " + err);
+  }
+  auto server = std::unique_ptr<MetricsHttpServer>(
+      new MetricsHttpServer(fd, static_cast<int>(ntohs(addr.sin_port))));
+  return server;
+}
+
+MetricsHttpServer::MetricsHttpServer(int listen_fd, int port)
+    : listen_fd_(listen_fd), port_(port) {
+  thread_ = std::thread([this] { Loop(); });
+  DD_LOG(INFO) << "metrics server listening on :" << port_;
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+void MetricsHttpServer::Stop() {
+  if (stop_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void MetricsHttpServer::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // Timeout or EINTR: re-check stop.
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // A stuck client must not wedge the diagnostics port.
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  // Read until the end of the request head; the two routes have no
+  // body, so everything past "\r\n\r\n" is ignored.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // Not even a request line.
+  const std::string line = request.substr(0, line_end);
+
+  std::string response;
+  if (line.rfind("GET ", 0) != 0) {
+    response = HttpResponse("405 Method Not Allowed", "method not allowed\n",
+                            "text/plain");
+  } else {
+    const std::size_t path_end = line.find(' ', 4);
+    const std::string path = line.substr(4, path_end == std::string::npos
+                                                ? std::string::npos
+                                                : path_end - 4);
+    if (path == "/metrics") {
+      response = HttpResponse(
+          "200 OK",
+          MetricsSnapshotToPrometheus(MetricsRegistry::Global().Snapshot()),
+          "text/plain; version=0.0.4; charset=utf-8");
+    } else if (path == "/healthz") {
+      response = HttpResponse("200 OK", "ok\n", "text/plain");
+    } else {
+      response = HttpResponse("404 Not Found", "not found\n", "text/plain");
+    }
+  }
+  WriteAll(fd, response);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace dd::obs

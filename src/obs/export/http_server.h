@@ -1,0 +1,60 @@
+// Minimal embedded HTTP server for live metrics: a blocking accept
+// loop on one dedicated thread, answering exactly two routes —
+//   GET /metrics   Prometheus text exposition of the global registry
+//   GET /healthz   "ok" liveness probe
+// Everything else is 404. One request per connection (the response
+// carries Connection: close), no keep-alive, no TLS, no third-party
+// dependencies; this is a diagnostics port for `ddtool serve` /
+// `ddtool watch --metrics_port`, not a general web server. The accept
+// loop polls with a short timeout so Stop() returns promptly; slow or
+// stuck clients are cut off by a per-connection socket timeout.
+
+#ifndef DD_OBS_EXPORT_HTTP_SERVER_H_
+#define DD_OBS_EXPORT_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/result.h"
+
+namespace dd::obs {
+
+class MetricsHttpServer {
+ public:
+  // Binds 0.0.0.0:`port` (0 picks an ephemeral port — read the choice
+  // back with port()) and starts the serving thread. Fails with
+  // IoError when the bind/listen fails (port taken, no permission).
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(int port);
+
+  ~MetricsHttpServer();  // Stops and joins.
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  // Signals the serving thread, joins it, and closes the listen
+  // socket. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsHttpServer(int listen_fd, int port);
+
+  void Loop();
+  void HandleConnection(int fd);
+
+  int listen_fd_;
+  int port_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace dd::obs
+
+#endif  // DD_OBS_EXPORT_HTTP_SERVER_H_

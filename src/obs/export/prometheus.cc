@@ -1,0 +1,65 @@
+#include "obs/export/prometheus.h"
+
+#include "common/string_util.h"
+
+namespace dd::obs {
+
+namespace {
+
+bool LegalStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool LegalBody(char c) { return LegalStart(c) || (c >= '0' && c <= '9'); }
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  // Only digits are legal in the body but not in first position; they
+  // keep their value behind a '_' prefix instead of being replaced.
+  if (name.empty() || (name[0] >= '0' && name[0] <= '9')) out += '_';
+  for (char c : name) {
+    out += LegalBody(c) ? c : '_';
+  }
+  return out;
+}
+
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    const std::string name = SanitizeMetricName(c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name;
+    out += StrFormat(" %llu\n", static_cast<unsigned long long>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string name = SanitizeMetricName(g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name;
+    out += StrFormat(" %g\n", g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string name = SanitizeMetricName(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      if (b < h.bounds.size()) {
+        out += StrFormat("%s_bucket{le=\"%g\"} %llu\n", name.c_str(),
+                         h.bounds[b], static_cast<unsigned long long>(cumulative));
+      } else {
+        out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(cumulative));
+      }
+    }
+    out += StrFormat("%s_sum %g\n", name.c_str(), h.sum);
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(h.count));
+  }
+  return out;
+}
+
+}  // namespace dd::obs

@@ -1,0 +1,32 @@
+// Prometheus text-exposition writer over MetricsSnapshot. In-process
+// metric names stay dotted ("provider.rows_scanned"); only the
+// exposition boundary rewrites them into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*), so dashboards see
+// "provider_rows_scanned" while call sites keep the readable form.
+// The output is exposition format version 0.0.4: one "# TYPE" comment
+// per family, histograms expanded into cumulative _bucket{le="..."}
+// series plus _sum and _count.
+
+#ifndef DD_OBS_EXPORT_PROMETHEUS_H_
+#define DD_OBS_EXPORT_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dd::obs {
+
+// Rewrites a dotted metric name into a legal Prometheus metric name:
+// '.' and every other character outside [a-zA-Z0-9_:] become '_', and
+// a leading digit is prefixed with '_'. Empty input sanitizes to "_".
+std::string SanitizeMetricName(const std::string& name);
+
+// Renders the whole snapshot in Prometheus text exposition format
+// (counters, gauges, then histograms, each sorted by name as the
+// snapshot already is). Bucket counts are emitted cumulatively, with
+// the implicit overflow bucket as le="+Inf".
+std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace dd::obs
+
+#endif  // DD_OBS_EXPORT_PROMETHEUS_H_

@@ -1,0 +1,258 @@
+#include "obs/export/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+#include "obs/json_util.h"
+#include "obs/log.h"
+
+namespace dd::obs {
+
+namespace {
+
+bool SameSchema(const SampleView& a, const SampleView& b) {
+  if (a.counters.size() != b.counters.size() ||
+      a.gauges.size() != b.gauges.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.counters.size(); ++i) {
+    if (a.counters[i].first != b.counters[i].first) return false;
+  }
+  for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+    if (a.gauges[i].first != b.gauges[i].first) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+SampleView FlattenSnapshot(const MetricsSnapshot& snapshot) {
+  SampleView view;
+  view.counters.reserve(snapshot.counters.size() +
+                        snapshot.histograms.size() * 8);
+  view.gauges.reserve(snapshot.gauges.size() + snapshot.histograms.size());
+  for (const auto& c : snapshot.counters) {
+    view.counters.emplace_back(c.name, c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    view.gauges.emplace_back(g.name, g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::string suffix =
+          b < h.bounds.size() ? StrFormat("#le_%g", h.bounds[b])
+                              : std::string("#le_inf");
+      view.counters.emplace_back(h.name + suffix, h.buckets[b]);
+    }
+    view.counters.emplace_back(h.name + "#count", h.count);
+    view.gauges.emplace_back(h.name + "#sum", h.sum);
+  }
+  // '#' keeps derived series from colliding with plain metric names;
+  // a final sort keeps the schema canonical regardless of kind order.
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(view.counters.begin(), view.counters.end(), by_name);
+  std::sort(view.gauges.begin(), view.gauges.end(), by_name);
+  return view;
+}
+
+std::string SampleFrameToJsonl(const SampleFrame& frame,
+                               const std::string& run_id) {
+  std::string out = frame.full ? "{\"type\":\"full\"" : "{\"type\":\"delta\"";
+  out += ",\"run_id\":\"";
+  out += JsonEscape(run_id);
+  out += "\"";
+  out += StrFormat(",\"seq\":%llu,\"t_ms\":%.3f",
+                   static_cast<unsigned long long>(frame.seq), frame.t_ms);
+  if (frame.full) {
+    out += ",\"counters\":{";
+    for (std::size_t i = 0; i < frame.view.counters.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += JsonEscape(frame.view.counters[i].first);
+      out += "\":";
+      out += StrFormat("%llu", static_cast<unsigned long long>(
+                                   frame.view.counters[i].second));
+    }
+    out += "},\"gauges\":{";
+    for (std::size_t i = 0; i < frame.view.gauges.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"";
+      out += JsonEscape(frame.view.gauges[i].first);
+      out += "\":";
+      out += StrFormat("%.6g", frame.view.gauges[i].second);
+    }
+    out += "}";
+  } else {
+    out += ",\"c\":[";
+    for (std::size_t i = 0; i < frame.counter_deltas.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("[%u,%lld]", frame.counter_deltas[i].first,
+                       static_cast<long long>(frame.counter_deltas[i].second));
+    }
+    out += "],\"g\":[";
+    for (std::size_t i = 0; i < frame.gauge_values.size(); ++i) {
+      if (i > 0) out += ",";
+      out += StrFormat("[%u,%.6g]", frame.gauge_values[i].first,
+                       frame.gauge_values[i].second);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+Result<SampleView> DecodeFrames(const std::vector<SampleFrame>& frames) {
+  SampleView view;
+  bool have_full = false;
+  for (const SampleFrame& frame : frames) {
+    if (frame.full) {
+      view = frame.view;
+      have_full = true;
+      continue;
+    }
+    if (!have_full) {
+      return Status::InvalidArgument(
+          "delta frame without a preceding full frame");
+    }
+    for (const auto& [idx, delta] : frame.counter_deltas) {
+      if (idx >= view.counters.size()) {
+        return Status::InvalidArgument("counter index out of schema");
+      }
+      view.counters[idx].second = static_cast<std::uint64_t>(
+          static_cast<std::int64_t>(view.counters[idx].second) + delta);
+    }
+    for (const auto& [idx, value] : frame.gauge_values) {
+      if (idx >= view.gauges.size()) {
+        return Status::InvalidArgument("gauge index out of schema");
+      }
+      view.gauges[idx].second = value;
+    }
+  }
+  return view;
+}
+
+Result<std::unique_ptr<MetricsSampler>> MetricsSampler::Start(
+    SamplerOptions options) {
+  if (options.period_ms < 1) {
+    return Status::InvalidArgument("sampler period must be >= 1 ms");
+  }
+  if (options.full_every < 1) options.full_every = 1;
+  if (options.ring_capacity < 2) options.ring_capacity = 2;
+  auto sampler =
+      std::unique_ptr<MetricsSampler>(new MetricsSampler(std::move(options)));
+  if (!sampler->options_.series_path.empty()) {
+    sampler->series_ = std::fopen(sampler->options_.series_path.c_str(), "a");
+    if (sampler->series_ == nullptr) {
+      return Status::IoError("cannot open " + sampler->options_.series_path +
+                             " for appending");
+    }
+  }
+  sampler->SampleOnce();  // Frame 0 is always a full reference frame.
+  sampler->thread_ = std::thread([s = sampler.get()] { s->Loop(); });
+  DD_LOG(INFO) << "metrics sampler started, period "
+               << sampler->options_.period_ms << " ms";
+  return sampler;
+}
+
+MetricsSampler::MetricsSampler(SamplerOptions options)
+    : options_(std::move(options)),
+      start_(std::chrono::steady_clock::now()) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Stop() {
+  if (stopped_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  SampleOnce();  // Capture the end state of short runs.
+  if (series_ != nullptr) {
+    std::fclose(series_);
+    series_ = nullptr;
+  }
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  while (!stop_requested_) {
+    const bool stopping =
+        wake_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                       [this] { return stop_requested_; });
+    if (stopping) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::SampleOnce() {
+  SampleView now = FlattenSnapshot(MetricsRegistry::Global().Snapshot());
+  const double t_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  SampleFrame frame;
+  frame.seq = seq_++;
+  frame.t_ms = t_ms;
+  const bool need_full = ring_.empty() || !SameSchema(now, last_full_) ||
+                         since_full_ + 1 >= options_.full_every;
+  if (need_full) {
+    frame.full = true;
+    frame.view = now;
+    last_full_ = now;
+    since_full_ = 0;
+  } else {
+    for (std::size_t i = 0; i < now.counters.size(); ++i) {
+      if (now.counters[i].second != last_view_.counters[i].second) {
+        frame.counter_deltas.emplace_back(
+            static_cast<std::uint32_t>(i),
+            static_cast<std::int64_t>(now.counters[i].second) -
+                static_cast<std::int64_t>(last_view_.counters[i].second));
+      }
+    }
+    for (std::size_t i = 0; i < now.gauges.size(); ++i) {
+      if (now.gauges[i].second != last_view_.gauges[i].second) {
+        frame.gauge_values.emplace_back(static_cast<std::uint32_t>(i),
+                                        now.gauges[i].second);
+      }
+    }
+    ++since_full_;
+  }
+  last_view_ = std::move(now);
+  if (series_ != nullptr) {
+    const std::string line = SampleFrameToJsonl(frame, options_.run_id);
+    std::fputs(line.c_str(), series_);
+    std::fputc('\n', series_);
+    std::fflush(series_);
+  }
+  ring_.push_back(std::move(frame));
+  TrimRingLocked();
+}
+
+void MetricsSampler::TrimRingLocked() {
+  while (ring_.size() > options_.ring_capacity) ring_.pop_front();
+  // Never leave orphaned deltas at the front: decoding needs their
+  // reference frame.
+  while (!ring_.empty() && !ring_.front().full) ring_.pop_front();
+}
+
+std::uint64_t MetricsSampler::frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::vector<SampleFrame> MetricsSampler::Ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SampleFrame>(ring_.begin(), ring_.end());
+}
+
+}  // namespace dd::obs

@@ -1,0 +1,142 @@
+// FTDC-inspired periodic metrics sampler for long-running processes
+// (MongoDB's full-time diagnostic data capture: sample everything on a
+// timer, store reference documents plus compact deltas). A background
+// thread snapshots the global registry every period, flattens it into
+// two ordered series lists (counters, incl. histogram buckets/counts;
+// gauges, incl. histogram sums), and encodes the sample as either
+//
+//   full frame   — complete name->value lists; emitted first, every
+//                  `full_every` samples, and whenever the metric set
+//                  changes (a new metric registered mid-run);
+//   delta frame  — sparse (index, value) pairs against the schema of
+//                  the most recent full frame, counters as signed
+//                  deltas, gauges as absolute values; unchanged
+//                  series are omitted, so an idle process costs a few
+//                  bytes per sample.
+//
+// Frames accumulate in a bounded in-memory ring (oldest dropped; the
+// ring always retains the full frame its deltas depend on) and are
+// optionally appended as JSONL to a series file, one frame per line,
+// stamped with the run_id so lines join against ddtool's change feed.
+// DecodeFrames() reverses the encoding exactly — the sampler test
+// asserts decoded == live snapshot.
+
+#ifndef DD_OBS_EXPORT_SAMPLER_H_
+#define DD_OBS_EXPORT_SAMPLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+
+namespace dd::obs {
+
+// Flattened, order-stable view of one metrics snapshot. Histograms
+// contribute one counter series per bucket ("name#le_<bound>", overflow
+// "name#le_inf"), a "name#count" counter, and a "name#sum" gauge.
+struct SampleView {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+};
+
+SampleView FlattenSnapshot(const MetricsSnapshot& snapshot);
+
+// One encoded sample.
+struct SampleFrame {
+  std::uint64_t seq = 0;
+  double t_ms = 0.0;  // Since sampler start (steady clock).
+  bool full = false;
+  // Full frames: the complete view.
+  SampleView view;
+  // Delta frames: sparse changes against the last full frame's schema.
+  std::vector<std::pair<std::uint32_t, std::int64_t>> counter_deltas;
+  std::vector<std::pair<std::uint32_t, double>> gauge_values;
+};
+
+// One-line JSON encoding of a frame (no trailing newline):
+//   {"type":"full","run_id":"...","seq":0,"t_ms":0.0,
+//    "counters":{"a":1,...},"gauges":{"g":0.5,...}}
+//   {"type":"delta","run_id":"...","seq":1,"t_ms":100.2,
+//    "c":[[0,5],...],"g":[[2,0.25],...]}
+std::string SampleFrameToJsonl(const SampleFrame& frame,
+                               const std::string& run_id);
+
+// Replays `frames` (which must start at a full frame) into the view
+// after the last frame. Fails on a leading delta frame or an index
+// outside the governing full frame's schema.
+Result<SampleView> DecodeFrames(const std::vector<SampleFrame>& frames);
+
+struct SamplerOptions {
+  int period_ms = 1000;
+  std::size_t ring_capacity = 512;  // Frames retained in memory.
+  std::size_t full_every = 64;      // Fresh reference frame cadence.
+  std::string series_path;          // Empty: in-memory ring only.
+  std::string run_id;               // Stamped on every JSONL line.
+};
+
+class MetricsSampler {
+ public:
+  // Validates options, opens the series file (append) when one is
+  // given, takes the initial full sample, and starts the sampling
+  // thread.
+  static Result<std::unique_ptr<MetricsSampler>> Start(SamplerOptions options);
+
+  ~MetricsSampler();  // Stops and joins.
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Wakes the thread, joins it, takes one final sample (so short runs
+  // always capture their end state), and closes the series file.
+  // Idempotent.
+  void Stop();
+
+  // Takes one sample immediately on the calling thread. Used by the
+  // background thread and by tests that want deterministic frames.
+  void SampleOnce();
+
+  std::uint64_t frames() const;
+  // Copy of the in-memory ring, oldest first; always decodable (starts
+  // at a full frame).
+  std::vector<SampleFrame> Ring() const;
+
+ private:
+  explicit MetricsSampler(SamplerOptions options);
+
+  void Loop();
+  // Drops ring frames past capacity, never splitting a delta run from
+  // its full frame: eviction only advances to the next full frame.
+  void TrimRingLocked();
+
+  SamplerOptions options_;
+  std::FILE* series_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex mu_;
+  std::deque<SampleFrame> ring_;
+  SampleView last_full_;    // Schema + values of the last full frame.
+  SampleView last_view_;    // Values as of the last frame of any kind.
+  std::uint64_t seq_ = 0;
+  std::uint64_t since_full_ = 0;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::atomic<bool> stopped_{false};
+  std::thread thread_;
+};
+
+}  // namespace dd::obs
+
+#endif  // DD_OBS_EXPORT_SAMPLER_H_

@@ -35,6 +35,32 @@ std::vector<double> DefaultLatencyBoundsMs() {
   return {0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0};
 }
 
+double HistogramPercentile(const MetricsSnapshot::HistogramValue& hist,
+                           double q) {
+  if (hist.count == 0 || hist.buckets.empty() || hist.bounds.empty()) {
+    return 0.0;
+  }
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(hist.count);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(hist.buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (rank <= cumulative + in_bucket) {
+      if (b >= hist.bounds.size()) return hist.bounds.back();  // Overflow.
+      const double lower = b == 0 ? 0.0 : hist.bounds[b - 1];
+      const double upper = hist.bounds[b];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable for a consistent snapshot (the last non-empty bucket
+  // always satisfies rank <= count); kept as a safe default.
+  return hist.bounds.back();
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

@@ -100,6 +100,16 @@ struct MetricsSnapshot {
   std::vector<HistogramValue> histograms;  // sorted by name
 };
 
+// Percentile estimate from the fixed buckets, q in [0, 1]: the target
+// rank is interpolated linearly inside the bucket it falls in (bucket
+// i spans (bounds[i-1], bounds[i]], the first bucket starts at 0), so
+// the estimate is exact when the rank lands on a bucket bound.
+// Observations in the overflow bucket are clamped to the last bound —
+// there is no upper edge to interpolate toward. Returns 0 for an
+// empty histogram.
+double HistogramPercentile(const MetricsSnapshot::HistogramValue& hist,
+                           double q);
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();

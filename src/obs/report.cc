@@ -3,47 +3,15 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "obs/json_util.h"
 
 namespace dd::obs {
 
 namespace {
 
-// Same escaping rules as core/result_io's JsonEscape; duplicated here so
-// obs stays below core in the dependency order.
-std::string Escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (unsigned char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (c < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-  return out;
-}
-
 void AppendSpanJson(const SpanStats& span, std::string* out) {
   *out += "{\"name\":\"";
-  *out += Escape(span.name);
+  *out += JsonEscape(span.name);
   *out += "\"";
   *out += StrFormat(",\"count\":%llu",
                     static_cast<unsigned long long>(span.count));
@@ -102,7 +70,7 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
   for (std::size_t i = 0; i < metrics.counters.size(); ++i) {
     if (i > 0) out += ",";
     out += "\"";
-    out += Escape(metrics.counters[i].name);
+    out += JsonEscape(metrics.counters[i].name);
     out += "\":";
     out += StrFormat(
         "%llu", static_cast<unsigned long long>(metrics.counters[i].value));
@@ -111,7 +79,7 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
   for (std::size_t i = 0; i < metrics.gauges.size(); ++i) {
     if (i > 0) out += ",";
     out += "\"";
-    out += Escape(metrics.gauges[i].name);
+    out += JsonEscape(metrics.gauges[i].name);
     out += "\":";
     out += StrFormat("%.6f", metrics.gauges[i].value);
   }
@@ -120,7 +88,7 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
     const auto& h = metrics.histograms[i];
     if (i > 0) out += ",";
     out += "\"";
-    out += Escape(h.name);
+    out += JsonEscape(h.name);
     out += "\":{\"buckets\":[";
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       if (b > 0) out += ",";
@@ -132,8 +100,11 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
                          static_cast<unsigned long long>(h.buckets[b]));
       }
     }
-    out += StrFormat("],\"count\":%llu,\"sum\":%.6f}",
+    out += StrFormat("],\"count\":%llu,\"sum\":%.6f",
                      static_cast<unsigned long long>(h.count), h.sum);
+    out += StrFormat(",\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f}",
+                     HistogramPercentile(h, 0.50), HistogramPercentile(h, 0.95),
+                     HistogramPercentile(h, 0.99));
   }
   out += "}}";
   return out;
@@ -141,7 +112,7 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
 
 std::string RunReportToJson(const RunReport& report) {
   std::string out = "{\"name\":\"";
-  out += Escape(report.name);
+  out += JsonEscape(report.name);
   out += "\",\"spans\":";
   out += TraceSnapshotToJson(report.trace);
   out += ",\"metrics\":";
@@ -185,9 +156,11 @@ std::string RunReportToText(const RunReport& report) {
       out += "histograms:\n";
       header = true;
     }
-    out += StrFormat("  %-40s count=%llu sum=%.3f mean=%.4f\n", h.name.c_str(),
-                     static_cast<unsigned long long>(h.count), h.sum,
-                     h.sum / static_cast<double>(h.count));
+    out += StrFormat(
+        "  %-40s count=%llu sum=%.3f mean=%.4f p50=%.4f p95=%.4f p99=%.4f\n",
+        h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum,
+        h.sum / static_cast<double>(h.count), HistogramPercentile(h, 0.50),
+        HistogramPercentile(h, 0.95), HistogramPercentile(h, 0.99));
   }
   return out;
 }

@@ -16,6 +16,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "tests/test_util.h"
 
 namespace dd {
 namespace {
@@ -303,110 +304,6 @@ TEST(LogTest, VlogCompilesOutWithoutEvaluatingOperands) {
 // --------------------------------------------------------------------
 // Reports
 
-// Minimal JSON well-formedness checker (objects, arrays, strings,
-// numbers, literals) — enough to catch unbalanced braces, missing
-// commas and unescaped quotes in the hand-rolled exporters.
-class JsonChecker {
- public:
-  explicit JsonChecker(const std::string& text) : s_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) return false;
-    SkipWs();
-    return pos_ == s_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool Value() {
-    SkipWs();
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-  bool Object() {
-    if (!Consume('{')) return false;
-    if (Consume('}')) return true;
-    do {
-      SkipWs();
-      if (!String()) return false;
-      if (!Consume(':')) return false;
-      if (!Value()) return false;
-    } while (Consume(','));
-    return Consume('}');
-  }
-  bool Array() {
-    if (!Consume('[')) return false;
-    if (Consume(']')) return true;
-    do {
-      if (!Value()) return false;
-    } while (Consume(','));
-    return Consume(']');
-  }
-  bool String() {
-    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size() && s_[pos_] != '"') {
-      if (s_[pos_] == '\\') ++pos_;  // Skip the escaped character.
-      ++pos_;
-    }
-    if (pos_ >= s_.size()) return false;
-    ++pos_;  // Closing quote.
-    return true;
-  }
-  bool Literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
-    }
-    return true;
-  }
-  bool Number() {
-    const std::size_t start = pos_;
-    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
-    bool digits = false;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '-' || s_[pos_] == '+')) {
-      if (std::isdigit(static_cast<unsigned char>(s_[pos_]))) digits = true;
-      ++pos_;
-    }
-    return digits && pos_ > start;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-};
-
 obs::RunReport MakeSampleReport() {
   Tracer& tracer = Tracer::Global();
   tracer.Reset();
@@ -424,7 +321,7 @@ obs::RunReport MakeSampleReport() {
 TEST(ReportTest, RunReportJsonIsWellFormedAndComplete) {
   obs::RunReport report = MakeSampleReport();
   const std::string json = obs::RunReportToJson(report);
-  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_TRUE(testutil::JsonChecker(json).Valid()) << json;
   EXPECT_NE(json.find("\"obs_test run\""), std::string::npos);
   EXPECT_NE(json.find("report_outer"), std::string::npos);
   EXPECT_NE(json.find("report_inner"), std::string::npos);
@@ -456,7 +353,7 @@ TEST(ReportTest, WriteRunReportJsonRoundTripsThroughDisk) {
   }
   std::fclose(f);
   std::remove(path.c_str());
-  EXPECT_TRUE(JsonChecker(contents).Valid()) << contents;
+  EXPECT_TRUE(testutil::JsonChecker(contents).Valid()) << contents;
   EXPECT_NE(contents.find("report_outer"), std::string::npos);
 }
 

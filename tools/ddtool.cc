@@ -37,14 +37,36 @@
 //   ddtool watch     same flags as append, but streams one change-feed
 //                    line per batch (drift, bound, re-determined or
 //                    kept, published pattern) instead of only the
-//                    final state
+//                    final state; feed JSON lines carry a per-run
+//                    run_id and a monotonically increasing seq
+//   ddtool serve     long-running daemon: loads --input for the base
+//                    instance and schema, then reads headerless CSV
+//                    rows from stdin, applying them in --batch-row
+//                    chunks until EOF; same feed lines as watch
+//
+// Live telemetry (watch / serve; --chrome_trace everywhere):
+//   --metrics_port N     embedded HTTP server: GET /metrics (Prometheus
+//                        text exposition) and GET /healthz (N=0 picks
+//                        an ephemeral port, printed on stderr)
+//   --series out.jsonl   FTDC-style sampler: snapshot the metrics
+//                        registry every --sample_period_ms (default
+//                        1000), append delta-encoded JSONL frames
+//   --run_id ID          correlation id stamped on feed lines and
+//                        sampler frames (default: derived from clock
+//                        and pid)
+//   --chrome_trace f.json  write the span tree as Chrome trace-event
+//                        JSON (load in Perfetto / chrome://tracing)
 //
 // Exit status 0 on success, 1 on bad usage or data errors.
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,16 +83,20 @@
 #include "discover/rule_explorer.h"
 #include "matching/builder.h"
 #include "matching/serialization.h"
+#include "obs/export/chrome_trace.h"
+#include "obs/export/http_server.h"
+#include "obs/export/sampler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: ddtool "
-               "<generate|determine|detect|discover|append|watch> [flags]\n"
-               "see the header of tools/ddtool.cc or README.md for flags\n");
+  std::fprintf(
+      stderr,
+      "usage: ddtool "
+      "<generate|determine|detect|discover|append|watch|serve> [flags]\n"
+      "see the header of tools/ddtool.cc or README.md for flags\n");
   return 1;
 }
 
@@ -142,6 +168,63 @@ dd::Status MaybeWriteTraceReport(const dd::ArgParser& args,
   DD_RETURN_IF_ERROR(dd::obs::WriteRunReportJson(report, path));
   std::fprintf(stderr, "wrote trace report to %s\n", path.c_str());
   return dd::Status::Ok();
+}
+
+// Writes the span tree as Chrome trace-event JSON when --chrome_trace
+// was given.
+dd::Status MaybeWriteChromeTrace(const dd::ArgParser& args) {
+  const std::string path = args.GetString("chrome_trace");
+  if (path.empty()) return dd::Status::Ok();
+  DD_RETURN_IF_ERROR(
+      dd::obs::WriteChromeTrace(dd::obs::Tracer::Global().Snapshot(), path));
+  std::fprintf(stderr, "wrote chrome trace to %s\n", path.c_str());
+  return dd::Status::Ok();
+}
+
+// Correlation id for feed lines and sampler frames when the user did
+// not pass --run_id: wall clock microseconds + pid, hex.
+std::string GenerateRunId() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  return dd::StrFormat("%011llx-%04x",
+                       static_cast<unsigned long long>(us) & 0xfffffffffffULL,
+                       static_cast<unsigned>(::getpid()) & 0xffff);
+}
+
+// Live telemetry started from flags: the /metrics endpoint
+// (--metrics_port) and the FTDC-style sampler (--series /
+// --sample_period_ms). Both are optional and shut down on destruction.
+struct Telemetry {
+  std::string run_id;
+  std::unique_ptr<dd::obs::MetricsHttpServer> server;
+  std::unique_ptr<dd::obs::MetricsSampler> sampler;
+};
+
+dd::Result<Telemetry> StartTelemetry(const dd::ArgParser& args) {
+  Telemetry telemetry;
+  telemetry.run_id = args.GetString("run_id");
+  if (telemetry.run_id.empty()) telemetry.run_id = GenerateRunId();
+  if (args.Has("metrics_port")) {
+    DD_ASSIGN_OR_RETURN(std::int64_t port, args.GetInt("metrics_port", 0));
+    DD_ASSIGN_OR_RETURN(
+        telemetry.server,
+        dd::obs::MetricsHttpServer::Start(static_cast<int>(port)));
+    std::fprintf(stderr, "run %s: serving /metrics and /healthz on port %d\n",
+                 telemetry.run_id.c_str(), telemetry.server->port());
+  }
+  const std::string series = args.GetString("series");
+  if (!series.empty() || args.Has("sample_period_ms")) {
+    DD_ASSIGN_OR_RETURN(std::int64_t period,
+                        args.GetInt("sample_period_ms", 1000));
+    dd::obs::SamplerOptions options;
+    options.period_ms = static_cast<int>(period);
+    options.series_path = series;
+    options.run_id = telemetry.run_id;
+    DD_ASSIGN_OR_RETURN(telemetry.sampler,
+                        dd::obs::MetricsSampler::Start(std::move(options)));
+  }
+  return telemetry;
 }
 
 // The --print_stats summary: search cost in the units of the paper's
@@ -325,6 +408,8 @@ int RunDetermine(const dd::ArgParser& args) {
   dd::Status trace_status = MaybeWriteTraceReport(
       args, "ddtool determine " + args.GetString("algo", "DAP+PAP"));
   if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
   if (args.Has("json")) {
     std::printf("%s\n", dd::DetermineResultToJson(*result, rule).c_str());
     if (args.Has("print_stats")) PrintSearchStats(*result);
@@ -366,6 +451,8 @@ int RunDetect(const dd::ArgParser& args) {
   auto found = dd::DetectViolations(*relation, rule, *pattern, *moptions);
   if (!found.ok()) return Fail(found.status());
   dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool detect");
+  if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
   if (!trace_status.ok()) return Fail(trace_status);
   std::printf("%zu violating pair(s)\n", found->size());
 
@@ -423,16 +510,108 @@ int RunDiscover(const dd::ArgParser& args) {
   return 0;
 }
 
+// Streams one change-feed line per applied batch (watch / serve).
+// JSON lines are stamped with the run_id and a monotonically
+// increasing seq so they join against sampler frames and server logs.
+class FeedPrinter {
+ public:
+  FeedPrinter(bool json, std::string run_id)
+      : json_(json), run_id_(std::move(run_id)) {}
+
+  void Print(const dd::MaintenanceEngine& engine, const dd::BatchOutcome& o,
+             std::size_t inserts, std::size_t deletes) {
+    ++seq_;
+    const dd::DeterminedPattern* pub = engine.published();
+    const std::string pattern =
+        pub ? dd::PatternToString(pub->pattern) : std::string("none");
+    if (json_) {
+      std::printf(
+          "{\"run_id\":\"%s\",\"seq\":%llu,\"batch\":%llu,\"inserts\":%zu,"
+          "\"deletes\":%zu,\"pairs_computed\":%zu,\"rows_removed\":%zu,"
+          "\"drift\":%.6g,\"bound\":%.6g,\"redetermined\":%s,"
+          "\"published\":\"%s\",\"utility\":%.6g}\n",
+          run_id_.c_str(), static_cast<unsigned long long>(seq_),
+          static_cast<unsigned long long>(o.batch_seq), inserts, deletes,
+          o.pairs_computed, o.matching_removed, o.drift, o.bound,
+          o.redetermined ? "true" : "false", pattern.c_str(),
+          pub ? pub->utility : 0.0);
+    } else {
+      std::printf(
+          "batch %llu: +%zu/-%zu rows, %zu pairs computed, drift %.4g "
+          "(bound %.4g) -> %s, published %s (utility %.4f)\n",
+          static_cast<unsigned long long>(o.batch_seq), inserts, deletes,
+          o.pairs_computed, o.drift, o.bound,
+          o.redetermined ? "re-determined" : "kept", pattern.c_str(),
+          pub ? pub->utility : 0.0);
+    }
+    std::fflush(stdout);
+  }
+
+ private:
+  bool json_;
+  std::string run_id_;
+  std::uint64_t seq_ = 0;
+};
+
+// Engine construction shared by append / watch / serve.
+dd::Result<dd::MaintenanceEngine> EngineFromFlags(const dd::ArgParser& args,
+                                                  const dd::Schema& schema) {
+  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
+  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
+  if (lhs.empty() || rhs.empty()) {
+    return dd::Status::InvalidArgument("--lhs and --rhs required");
+  }
+  dd::MaintenanceOptions options;
+  DD_ASSIGN_OR_RETURN(options.incremental.matching, MatchingFromFlags(args));
+  DD_ASSIGN_OR_RETURN(options.determine, DetermineFromFlags(args));
+  DD_ASSIGN_OR_RETURN(options.drift_fraction, args.GetDouble("drift", 0.5));
+  return dd::MaintenanceEngine::Create(
+      schema, dd::RuleSpec{std::move(lhs), std::move(rhs)}, options);
+}
+
+// Prints the end-of-run summary shared by append / watch / serve.
+int PrintFinalState(const dd::MaintenanceEngine& engine, bool watch,
+                    bool json) {
+  const dd::DeterminedPattern* pub = engine.published();
+  const std::string pattern =
+      pub ? dd::PatternToString(pub->pattern) : std::string("none");
+  if (json) {
+    if (!watch) {
+      std::printf(
+          "{\"live\":%zu,\"matching\":%zu,\"redeterminations\":%llu,"
+          "\"skipped\":%llu,\"updates\":%zu,\"published\":\"%s\","
+          "\"utility\":%.6g}\n",
+          engine.builder().store().num_live(),
+          engine.builder().matching().num_tuples(),
+          static_cast<unsigned long long>(engine.redeterminations()),
+          static_cast<unsigned long long>(engine.skipped()),
+          engine.updates().size(), pattern.c_str(), pub ? pub->utility : 0.0);
+    }
+    return 0;  // Watch keeps stdout to feed lines only under --json.
+  }
+  std::printf(
+      "final: %zu live tuples, %zu matching tuples, %llu re-determinations "
+      "(%llu skipped), %zu threshold update(s)\n",
+      engine.builder().store().num_live(),
+      engine.builder().matching().num_tuples(),
+      static_cast<unsigned long long>(engine.redeterminations()),
+      static_cast<unsigned long long>(engine.skipped()),
+      engine.updates().size());
+  if (pub != nullptr) {
+    std::printf("published %s  D=%.4f C=%.4f S=%.4f Q=%.2f utility=%.4f\n",
+                pattern.c_str(), pub->measures.d, pub->measures.confidence,
+                pub->measures.support, pub->measures.quality, pub->utility);
+  } else {
+    std::printf("no threshold published (empty instance)\n");
+  }
+  return 0;
+}
+
 // Shared driver of `append` (prints the final state) and `watch`
 // (streams one change-feed line per batch). Feeds --input as the first
 // batch, then --rows in --batch-row chunks; --retire k deletes the k
 // oldest live tuples with every chunk to exercise the delete path.
 int RunIncremental(const dd::ArgParser& args, bool watch) {
-  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
-  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
-  if (lhs.empty() || rhs.empty()) {
-    return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
-  }
   const std::string rows_path = args.GetString("rows");
   if (rows_path.empty()) {
     return Fail(
@@ -454,16 +633,6 @@ int RunIncremental(const dd::ArgParser& args, bool watch) {
     base = std::move(*base_rel);
   }
 
-  dd::MaintenanceOptions options;
-  auto moptions = MatchingFromFlags(args);
-  if (!moptions.ok()) return Fail(moptions.status());
-  options.incremental.matching = *moptions;
-  auto doptions = DetermineFromFlags(args);
-  if (!doptions.ok()) return Fail(doptions.status());
-  options.determine = *doptions;
-  auto drift = args.GetDouble("drift", 0.5);
-  if (!drift.ok()) return Fail(drift.status());
-  options.drift_fraction = *drift;
   auto batch = args.GetInt("batch", 16);
   if (!batch.ok()) return Fail(batch.status());
   if (*batch < 1) {
@@ -475,39 +644,18 @@ int RunIncremental(const dd::ArgParser& args, bool watch) {
   const std::size_t retire_rows =
       *retire < 0 ? 0 : static_cast<std::size_t>(*retire);
 
-  auto engine = dd::MaintenanceEngine::Create(
-      rows->schema(), dd::RuleSpec{std::move(lhs), std::move(rhs)}, options);
+  auto engine = EngineFromFlags(args, rows->schema());
   if (!engine.ok()) return Fail(engine.status());
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
 
   const bool json = args.Has("json");
+  FeedPrinter printer(json, telemetry->run_id);
   auto feed = [&](const std::vector<std::vector<std::string>>& inserts,
                   const std::vector<std::uint32_t>& deletes) -> dd::Status {
     auto outcome = engine->ApplyBatch(inserts, deletes);
     if (!outcome.ok()) return outcome.status();
-    if (!watch) return dd::Status::Ok();
-    const dd::BatchOutcome& o = *outcome;
-    const dd::DeterminedPattern* pub = engine->published();
-    const std::string pattern =
-        pub ? dd::PatternToString(pub->pattern) : std::string("none");
-    if (json) {
-      std::printf(
-          "{\"batch\":%llu,\"inserts\":%zu,\"deletes\":%zu,"
-          "\"pairs_computed\":%zu,\"rows_removed\":%zu,\"drift\":%.6g,"
-          "\"bound\":%.6g,\"redetermined\":%s,\"published\":\"%s\","
-          "\"utility\":%.6g}\n",
-          static_cast<unsigned long long>(o.batch_seq), inserts.size(),
-          deletes.size(), o.pairs_computed, o.matching_removed, o.drift,
-          o.bound, o.redetermined ? "true" : "false", pattern.c_str(),
-          pub ? pub->utility : 0.0);
-    } else {
-      std::printf(
-          "batch %llu: +%zu/-%zu rows, %zu pairs computed, drift %.4g "
-          "(bound %.4g) -> %s, published %s (utility %.4f)\n",
-          static_cast<unsigned long long>(o.batch_seq), inserts.size(),
-          deletes.size(), o.pairs_computed, o.drift, o.bound,
-          o.redetermined ? "re-determined" : "kept", pattern.c_str(),
-          pub ? pub->utility : 0.0);
-    }
+    if (watch) printer.Print(*engine, *outcome, inserts.size(), deletes.size());
     return dd::Status::Ok();
   };
 
@@ -535,44 +683,104 @@ int RunIncremental(const dd::ArgParser& args, bool watch) {
     if (!fed.ok()) return Fail(fed);
   }
 
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
   dd::Status trace_status =
       MaybeWriteTraceReport(args, watch ? "ddtool watch" : "ddtool append");
   if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
 
-  const dd::DeterminedPattern* pub = engine->published();
-  const std::string pattern =
-      pub ? dd::PatternToString(pub->pattern) : std::string("none");
-  if (json) {
-    if (!watch) {
-      std::printf(
-          "{\"live\":%zu,\"matching\":%zu,\"redeterminations\":%llu,"
-          "\"skipped\":%llu,\"updates\":%zu,\"published\":\"%s\","
-          "\"utility\":%.6g}\n",
-          engine->builder().store().num_live(),
-          engine->builder().matching().num_tuples(),
-          static_cast<unsigned long long>(engine->redeterminations()),
-          static_cast<unsigned long long>(engine->skipped()),
-          engine->updates().size(), pattern.c_str(),
-          pub ? pub->utility : 0.0);
+  return PrintFinalState(*engine, watch, json);
+}
+
+// Long-running daemon: base instance from --input, then headerless CSV
+// rows from stdin in --batch-row chunks until EOF. Telemetry (the
+// /metrics port and the sampler) stays live the whole run — this is
+// the subcommand meant to sit behind a scrape target.
+int RunServe(const dd::ArgParser& args) {
+  const std::string input = args.GetString("input");
+  if (input.empty()) {
+    return Fail(dd::Status::InvalidArgument(
+        "--input (base CSV; also fixes the schema for stdin rows) required"));
+  }
+  auto base = dd::ReadCsvFile(input);
+  if (!base.ok()) return Fail(base.status());
+
+  auto batch = args.GetInt("batch", 16);
+  if (!batch.ok()) return Fail(batch.status());
+  if (*batch < 1) {
+    return Fail(dd::Status::InvalidArgument("--batch must be >= 1"));
+  }
+  const std::size_t batch_rows = static_cast<std::size_t>(*batch);
+
+  auto engine = EngineFromFlags(args, base->schema());
+  if (!engine.ok()) return Fail(engine.status());
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
+
+  const bool json = args.Has("json");
+  FeedPrinter printer(json, telemetry->run_id);
+  auto apply = [&](const std::vector<std::vector<std::string>>& inserts)
+      -> dd::Status {
+    auto outcome = engine->ApplyBatch(inserts, {});
+    if (!outcome.ok()) return outcome.status();
+    printer.Print(*engine, *outcome, inserts.size(), 0);
+    return dd::Status::Ok();
+  };
+
+  if (base->num_rows() > 0) {
+    std::vector<std::vector<std::string>> inserts;
+    inserts.reserve(base->num_rows());
+    for (std::size_t r = 0; r < base->num_rows(); ++r) {
+      inserts.push_back(base->row(r));
     }
-    return 0;  // Watch keeps stdout to feed lines only under --json.
+    dd::Status fed = apply(inserts);
+    if (!fed.ok()) return Fail(fed);
   }
-  std::printf(
-      "final: %zu live tuples, %zu matching tuples, %llu re-determinations "
-      "(%llu skipped), %zu threshold update(s)\n",
-      engine->builder().store().num_live(),
-      engine->builder().matching().num_tuples(),
-      static_cast<unsigned long long>(engine->redeterminations()),
-      static_cast<unsigned long long>(engine->skipped()),
-      engine->updates().size());
-  if (pub != nullptr) {
-    std::printf("published %s  D=%.4f C=%.4f S=%.4f Q=%.2f utility=%.4f\n",
-                pattern.c_str(), pub->measures.d, pub->measures.confidence,
-                pub->measures.support, pub->measures.quality, pub->utility);
-  } else {
-    std::printf("no threshold published (empty instance)\n");
+
+  const std::size_t columns = base->schema().num_attributes();
+  dd::CsvOptions line_options;
+  line_options.has_header = false;
+  std::vector<std::vector<std::string>> pending;
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    line += buf;
+    if (!line.empty() && line.back() != '\n') continue;  // Long line.
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      auto row = dd::ParseCsv(line, line_options);
+      if (!row.ok()) return Fail(row.status());
+      for (std::size_t r = 0; r < row->num_rows(); ++r) {
+        if (row->schema().num_attributes() != columns) {
+          return Fail(dd::Status::InvalidArgument(dd::StrFormat(
+              "stdin row has %zu fields, schema has %zu",
+              row->schema().num_attributes(), columns)));
+        }
+        pending.push_back(row->row(r));
+      }
+    }
+    line.clear();
+    if (pending.size() >= batch_rows) {
+      dd::Status fed = apply(pending);
+      if (!fed.ok()) return Fail(fed);
+      pending.clear();
+    }
   }
-  return 0;
+  if (!pending.empty()) {
+    dd::Status fed = apply(pending);
+    if (!fed.ok()) return Fail(fed);
+  }
+
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
+  dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool serve");
+  if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
+
+  return PrintFinalState(*engine, /*watch=*/true, json);
 }
 
 }  // namespace
@@ -587,5 +795,6 @@ int main(int argc, char** argv) {
   if (command == "discover") return RunDiscover(args);
   if (command == "append") return RunIncremental(args, /*watch=*/false);
   if (command == "watch") return RunIncremental(args, /*watch=*/true);
+  if (command == "serve") return RunServe(args);
   return Usage();
 }
