@@ -76,6 +76,12 @@ std::size_t CandidateLattice::IndexOf(const Levels& levels) const {
 
 std::size_t CandidateLattice::Prune(const Levels& dominator,
                                     double max_quality) {
+  return Prune(dominator, max_quality, nullptr);
+}
+
+std::size_t CandidateLattice::Prune(
+    const Levels& dominator, double max_quality,
+    const std::function<void(std::size_t)>& on_kill) {
   DD_CHECK_EQ(dominator.size(), dims_);
   // Q(ϕ) <= q  <=>  LevelSum(ϕ) >= dims * dmax * (1 - q).
   const double min_sum_d =
@@ -90,7 +96,11 @@ std::size_t CandidateLattice::Prune(const Levels& dominator,
   for (;;) {
     const long sum = LevelSum(cursor);
     if (sum >= min_sum) {
-      if (Kill(IndexOf(cursor))) ++killed;
+      const std::size_t idx = IndexOf(cursor);
+      if (Kill(idx)) {
+        ++killed;
+        if (on_kill) on_kill(idx);
+      }
     }
     // Advance the odometer.
     std::size_t d = 0;

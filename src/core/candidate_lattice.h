@@ -7,6 +7,7 @@
 #define DD_CORE_CANDIDATE_LATTICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/pattern.h"
@@ -58,6 +59,13 @@ class CandidateLattice {
   // `dominator` implements the S0 prune (Proposition 1); the current
   // candidate implements S1 (Proposition 2).
   std::size_t Prune(const Levels& dominator, double max_quality);
+
+  // Same, invoking `on_kill(cell_index)` for every cell this call kills
+  // (used by the EXPLAIN recorder to attribute each pruned candidate to
+  // the prune that removed it). An empty callback behaves like the
+  // two-argument overload.
+  std::size_t Prune(const Levels& dominator, double max_quality,
+                    const std::function<void(std::size_t)>& on_kill);
 
   // Visit order for the whole lattice under `order` (cell indices).
   static std::vector<std::uint32_t> MakeOrder(std::size_t dims, int dmax,

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "core/candidate_lattice.h"
+#include "obs/explain/recorder.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -87,6 +88,7 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
   TopPatterns top(options.top_l);
   PaOptions pa_options = options.pa;
   pa_options.top_l = options.top_l;
+  obs::ExplainRecorder* rec = obs::ExplainRecorder::Active();
 
   std::size_t lhs_evaluated = 0;
   PaStats pa_stats;
@@ -115,8 +117,10 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
     DD_VLOG(1) << "lhs candidate " << idx << ": count=" << n
                << " advanced_bound=" << bound;
 
+    pa_options.initial_bound_advanced = options.advanced_bound && bound > 0.0;
     std::vector<RhsCandidate> best =
         FindBestRhs(provider, rhs_dims, dmax, bound, pa_options, &pa_stats);
+    if (rec != nullptr && best.empty()) rec->NoteLhsBoundedOut();
     for (RhsCandidate& c : best) {
       DeterminedPattern p;
       p.pattern.lhs = lhs;

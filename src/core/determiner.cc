@@ -3,8 +3,10 @@
 #include <memory>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
+#include "obs/explain/recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -43,6 +45,13 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
   }
   obs::TraceSpan determine_span("determine");
   Stopwatch total_timer;
+  if (obs::ExplainRecorder* rec = obs::ExplainRecorder::Active()) {
+    rec->SetRunLabel(StrFormat(
+        "%s+%s provider=%s order=%s top_l=%zu",
+        LhsAlgorithmName(options.lhs_algorithm),
+        RhsAlgorithmName(options.rhs_algorithm), options.provider.c_str(),
+        ProcessingOrderName(options.order), options.top_l));
+  }
   DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
   std::unique_ptr<MeasureProvider> provider;
   {

@@ -69,6 +69,14 @@ class MeasureProvider {
   // count(b ⊨ ϕ[X]) for the current ϕ[X].
   virtual std::uint64_t lhs_count() const = 0;
 
+  // The current ϕ[X] levels (last SetLhs argument). Observational only —
+  // the EXPLAIN recorder reads it to label events; providers that track
+  // no LHS state may return an empty vector.
+  virtual const Levels& current_lhs() const {
+    static const Levels kEmpty;
+    return kEmpty;
+  }
+
   // count(b ⊨ ϕ[XY]) for the current ϕ[X] and the given ϕ[Y].
   virtual std::uint64_t CountXY(const Levels& rhs) = 0;
 
@@ -103,6 +111,7 @@ class ScanMeasureProvider : public MeasureProvider {
   void SetLhsWithKnownCount(const Levels& lhs,
                             std::uint64_t known_count) override;
   std::uint64_t lhs_count() const override { return lhs_count_; }
+  const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
  private:
@@ -127,6 +136,7 @@ class GridMeasureProvider : public MeasureProvider {
   std::uint64_t total() const override { return total_; }
   void SetLhs(const Levels& lhs) override;
   std::uint64_t lhs_count() const override { return lhs_count_; }
+  const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
  private:

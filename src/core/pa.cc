@@ -1,8 +1,10 @@
 #include "core/pa.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "obs/explain/recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -19,6 +21,8 @@ struct TopL {
   double Bound(double initial_bound) const {
     return heap_.size() == l_ ? heap_.front().cq : initial_bound;
   }
+
+  bool Full() const { return heap_.size() == l_; }
 
   void Offer(RhsCandidate candidate) {
     if (heap_.size() < l_) {
@@ -61,6 +65,13 @@ RhsCandidate Evaluate(MeasureProvider* provider, Levels rhs, int dmax) {
   return c;
 }
 
+// Which bound governs decisions right now: once the heap is full the
+// running top-l cutoff took over from the caller's initial bound.
+obs::ExplainBound BoundKindNow(bool heap_full, bool advanced) {
+  if (heap_full) return obs::ExplainBound::kTopL;
+  return advanced ? obs::ExplainBound::kAdvanced : obs::ExplainBound::kInitial;
+}
+
 }  // namespace
 
 std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
@@ -77,37 +88,110 @@ std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
   const Levels all_dmax(rhs_dims, dmax);
   std::size_t evaluated = 0;
 
+  // EXPLAIN recorder (obs/explain/recorder.h): nullptr unless a
+  // recording is active, in which case every candidate decision below
+  // emits exactly one event. Never changes the search.
+  obs::ExplainRecorder* rec = obs::ExplainRecorder::Active();
+  std::uint32_t lhs_seq = 0;
+  if (rec != nullptr) {
+    rec->SetRhsGeometry(rhs_dims, dmax);
+    rec->AddCandidates(lattice.size());
+    lhs_seq = rec->BeginLhs(provider->current_lhs(), provider->lhs_count(),
+                            provider->total(), initial_bound,
+                            options.initial_bound_advanced);
+  }
+
   if (!options.prune) {
     // Algorithm 1 (PA): one pass over the entire C_Y.
     for (std::uint32_t idx : order) {
+      const bool timed = rec != nullptr && rec->WillSampleNextEvent();
+      std::chrono::steady_clock::time_point t0;
+      if (timed) t0 = std::chrono::steady_clock::now();
       RhsCandidate c = Evaluate(provider, lattice.LevelsOf(idx), dmax);
       ++evaluated;
-      if (c.cq > top.Bound(initial_bound)) top.Offer(std::move(c));
+      const bool offered = c.cq > top.Bound(initial_bound);
+      if (rec != nullptr) {
+        const double eval_ns =
+            timed ? std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()
+                  : 0.0;
+        rec->RecordEvaluated(
+            lhs_seq, idx, static_cast<std::uint32_t>(evaluated - 1),
+            c.xy_count, c.confidence, c.quality, c.cq,
+            top.Bound(initial_bound),
+            BoundKindNow(top.Full(), options.initial_bound_advanced), offered,
+            eval_ns);
+      }
+      if (offered) top.Offer(std::move(c));
     }
   } else {
     // Algorithm 2 (PAP).
     for (std::uint32_t idx : order) {
       if (!lattice.IsAlive(idx)) continue;  // Pruned by S0/S1 earlier.
+      const bool timed = rec != nullptr && rec->WillSampleNextEvent();
+      std::chrono::steady_clock::time_point t0;
+      if (timed) t0 = std::chrono::steady_clock::now();
       RhsCandidate c = Evaluate(provider, lattice.LevelsOf(idx), dmax);
       ++evaluated;
       lattice.Kill(idx);  // Processed; Prune below must not double-count.
       const double vmax_before = top.Bound(initial_bound);
-      if (c.cq > vmax_before) top.Offer(c);
+      const bool offered = c.cq > vmax_before;
+      const std::uint32_t rank = static_cast<std::uint32_t>(evaluated - 1);
+      if (rec != nullptr) {
+        const double eval_ns =
+            timed ? std::chrono::duration<double, std::nano>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count()
+                  : 0.0;
+        rec->RecordEvaluated(
+            lhs_seq, idx, rank, c.xy_count, c.confidence, c.quality, c.cq,
+            vmax_before,
+            BoundKindNow(top.Full(), options.initial_bound_advanced), offered,
+            eval_ns);
+      }
+      if (offered) top.Offer(c);
       const double vmax = top.Bound(initial_bound);
+      const obs::ExplainBound bound_kind =
+          BoundKindNow(top.Full(), options.initial_bound_advanced);
       if (vmax > 0.0) {
         // S0 (Proposition 1): every candidate is dominated by the
         // all-dmax pattern, so prune(ϕ0, Vmax) kills all with Q <= Vmax.
-        lattice.Prune(all_dmax, vmax);
+        if (rec != nullptr) {
+          lattice.Prune(all_dmax, vmax, [&](std::size_t killed) {
+            rec->RecordPruned(lhs_seq, static_cast<std::uint32_t>(killed),
+                              rank, obs::ExplainOutcome::kPrunedS0, vmax,
+                              bound_kind);
+          });
+        } else {
+          lattice.Prune(all_dmax, vmax);
+        }
         // S1 (Proposition 2): candidates dominated by the current ϕi
         // with Q <= Vmax / C(ϕi) cannot beat Vmax. C(ϕi) == 0 prunes the
         // whole dominated sub-box (their confidence is 0 too).
         const double s1_quality =
             c.confidence > 0.0 ? vmax / c.confidence : 1.0;
-        lattice.Prune(c.rhs, s1_quality);
+        if (rec != nullptr) {
+          lattice.Prune(c.rhs, s1_quality, [&](std::size_t killed) {
+            rec->RecordPruned(lhs_seq, static_cast<std::uint32_t>(killed),
+                              rank, obs::ExplainOutcome::kPrunedS1, vmax,
+                              bound_kind);
+          });
+        } else {
+          lattice.Prune(c.rhs, s1_quality);
+        }
       } else if (c.confidence == 0.0) {
         // Everything dominated by a zero-confidence candidate has C = 0,
         // hence C·Q = 0, and can never strictly exceed a bound >= 0.
-        lattice.Prune(c.rhs, 1.0);
+        if (rec != nullptr) {
+          lattice.Prune(c.rhs, 1.0, [&](std::size_t killed) {
+            rec->RecordPruned(lhs_seq, static_cast<std::uint32_t>(killed),
+                              rank, obs::ExplainOutcome::kPrunedZeroConf, 0.0,
+                              bound_kind);
+          });
+        } else {
+          lattice.Prune(c.rhs, 1.0);
+        }
       }
     }
   }

@@ -39,6 +39,10 @@ struct PaOptions {
   ProcessingOrder order = ProcessingOrder::kMidFirst;
   // Return the l best candidates (paper §V "Algorithm Extensions").
   std::size_t top_l = 1;
+  // Provenance of `initial_bound` for the EXPLAIN recorder: true when
+  // the caller seeded it from DAP's Theorem-3 advanced bound (da.cc).
+  // Observational only — does not change the search.
+  bool initial_bound_advanced = false;
 };
 
 struct PaStats {

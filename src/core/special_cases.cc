@@ -8,6 +8,7 @@
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
 #include "core/pa.h"
+#include "obs/explain/recorder.h"
 #include "obs/trace.h"
 
 namespace dd {
@@ -21,6 +22,10 @@ Result<DetermineResult> DetermineWithPinnedSide(
     return Status::InvalidArgument("top_l must be >= 1");
   }
   obs::TraceSpan determine_span("determine");
+  obs::ExplainRecorder* rec = obs::ExplainRecorder::Active();
+  if (rec != nullptr) {
+    rec->SetRunLabel(pin_lhs ? "MFD determination" : "MD determination");
+  }
   DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
   std::unique_ptr<MeasureProvider> provider;
   {
@@ -80,6 +85,7 @@ Result<DetermineResult> DetermineWithPinnedSide(
     // Q(<0,...,0>) = 1, so the expected utility ranks LHS candidates by
     // their (D, C) trade-off alone.
     const Levels rhs(resolved.rhs.size(), 0);
+    if (rec != nullptr) rec->SetRhsGeometry(resolved.rhs.size(), dmax);
     CandidateLattice lhs_lattice(resolved.lhs.size(), dmax);
     for (std::size_t idx = 0; idx < lhs_lattice.size(); ++idx) {
       const Levels lhs = lhs_lattice.LevelsOf(idx);
@@ -93,6 +99,20 @@ Result<DetermineResult> DetermineWithPinnedSide(
       p.utility = ExpectedUtility(provider->total(), n,
                                   p.measures.confidence, p.measures.quality,
                                   utility);
+      if (rec != nullptr) {
+        // The MD search has one RHS candidate (the pinned equality
+        // pattern) per LHS — mirror that in the waterfall so the MD
+        // stats contract (rhs.lattice_size grows by |C_X|) still
+        // satisfies the accounting identity.
+        rec->AddCandidates(1);
+        const std::uint32_t lhs_seq =
+            rec->BeginLhs(lhs, n, provider->total(), 0.0, false);
+        rec->RecordEvaluated(lhs_seq, /*rhs_index=*/0, /*rank=*/0, xy,
+                             p.measures.confidence, p.measures.quality,
+                             p.measures.confidence * p.measures.quality,
+                             /*bound=*/0.0, obs::ExplainBound::kInitial,
+                             /*offered=*/false, /*eval_ns=*/0.0);
+      }
       result.patterns.push_back(std::move(p));
       ++result.stats.lhs_evaluated;
     }

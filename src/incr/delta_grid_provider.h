@@ -41,6 +41,7 @@ class DeltaGridProvider : public MeasureProvider {
   std::uint64_t total() const override { return total_; }
   void SetLhs(const Levels& lhs) override;
   std::uint64_t lhs_count() const override { return lhs_count_; }
+  const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
  private:

@@ -1,0 +1,63 @@
+// Consumers of a Determination EXPLAIN recording (DESIGN.md §11):
+// the JSON audit document, the human-readable pruning waterfall and
+// winner-vs-runner-up diff, and the utility-landscape export mapping
+// each sampled candidate's ϕ[A] coordinates to Ū(ϕ).
+//
+// Unlike the recorder (dd_obs, below core), these formatters combine a
+// snapshot with the DetermineResult it explains, so they live in their
+// own target (dd_explain) above core.
+
+#ifndef DD_OBS_EXPLAIN_AUDIT_H_
+#define DD_OBS_EXPLAIN_AUDIT_H_
+
+#include <string>
+
+#include "core/determiner.h"
+#include "core/expected_utility.h"
+#include "core/rule.h"
+#include "obs/explain/recorder.h"
+
+namespace dd {
+
+// Decodes a recorded rhs_index back into threshold levels under the
+// snapshot's (dims, dmax) geometry (mixed-radix, dimension 0 least
+// significant — the CandidateLattice encoding).
+obs::ExplainLevels DecodeRhsLevels(std::uint32_t rhs_index, std::size_t dims,
+                                   int dmax);
+
+// The full JSON audit document: run metadata, exact waterfall totals,
+// the winner / runner-up measure decomposition at full (%.17g)
+// precision, every recorded LHS, and every retained event. `utility`
+// should be the options the run used; its prior_mean_cq is replaced by
+// result.prior_mean_cq (the value the run actually estimated).
+std::string ExplainAuditToJson(const obs::ExplainSnapshot& snapshot,
+                               const DetermineResult& result,
+                               const RuleSpec& rule,
+                               const UtilityOptions& utility);
+
+// The pruning waterfall: candidates → pruned by each stage → evaluated
+// → offered to the top-l heap → answers. Stable ordering and column
+// widths (golden-tested).
+std::string PruningWaterfallToText(const obs::ExplainSnapshot& snapshot,
+                                   const DetermineResult& result);
+
+// "Why this ϕ": the winner's D/C/Q/S/Ū decomposition diffed against the
+// runner-up's. Degrades gracefully when there is no runner-up (or no
+// winner).
+std::string WhyChosenToText(const DetermineResult& result);
+
+// Utility-landscape export: one row per retained *evaluated* event,
+// mapping the candidate's ϕ[X] / ϕ[Y] coordinates to D, C, Q, C·Q and
+// Ū — suitable for plotting Fig. 3-style utility surfaces.
+std::string LandscapeToCsv(const obs::ExplainSnapshot& snapshot,
+                           const RuleSpec& rule,
+                           const UtilityOptions& utility,
+                           double prior_mean_cq);
+std::string LandscapeToJsonl(const obs::ExplainSnapshot& snapshot,
+                             const RuleSpec& rule,
+                             const UtilityOptions& utility,
+                             double prior_mean_cq);
+
+}  // namespace dd
+
+#endif  // DD_OBS_EXPLAIN_AUDIT_H_

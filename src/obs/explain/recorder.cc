@@ -1,0 +1,397 @@
+#include "obs/explain/recorder.h"
+
+#include <algorithm>
+#include <array>
+
+#include "obs/metrics.h"
+
+namespace dd::obs {
+
+namespace {
+
+// Skyline fronts are capped so dominance checks stay O(small); once the
+// cap is hit new front points are still force-kept (a safe superset)
+// but no longer considered as dominators.
+constexpr std::size_t kMaxFrontSize = 512;
+
+std::vector<double> EvalLatencyBoundsUs() {
+  return {1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6};
+}
+
+}  // namespace
+
+const char* ExplainOutcomeName(ExplainOutcome outcome) {
+  switch (outcome) {
+    case ExplainOutcome::kEvaluated:
+      return "evaluated";
+    case ExplainOutcome::kPrunedS0:
+      return "pruned_s0";
+    case ExplainOutcome::kPrunedS1:
+      return "pruned_s1";
+    case ExplainOutcome::kPrunedZeroConf:
+      return "pruned_zero_conf";
+  }
+  return "unknown";
+}
+
+const char* ExplainBoundName(ExplainBound bound) {
+  switch (bound) {
+    case ExplainBound::kInitial:
+      return "initial";
+    case ExplainBound::kAdvanced:
+      return "advanced";
+    case ExplainBound::kTopL:
+      return "top_l";
+  }
+  return "unknown";
+}
+
+// Per-thread event storage. Only the owning thread writes; the mutex
+// guards just the ring (the 1-in-sample_every slow path plus forced
+// keeps), so the per-event fast path is a handful of relaxed atomics.
+// Snapshot() reads counters relaxed and the ring under the mutex.
+// Buffers are registered once and reused across runs via the epoch
+// check.
+struct ExplainRecorder::ThreadBuffer {
+  std::mutex mu;  // guards ring + write_pos only
+  std::atomic<std::uint64_t> epoch{~std::uint64_t{0}};
+  std::vector<ExplainEvent> ring;
+  std::size_t write_pos = 0;
+  // Events until the next sampled one (0 = the next event is kept);
+  // a countdown instead of tick % sample_every keeps the per-event
+  // path free of integer division.
+  std::atomic<std::uint64_t> until_sample{0};
+  std::atomic<std::uint64_t> sampled_out{0};
+  std::atomic<std::uint64_t> dropped{0};
+  // Owner-thread-only state (never read by Snapshot): D(ϕ[X]) of the
+  // last BeginLhs and the running Pareto front over (support,
+  // confidence, quality) of force-kept evaluated events.
+  double current_d = 0.0;
+  std::vector<std::array<double, 3>> front;
+
+  void ResetFor(std::uint64_t new_epoch, std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ring.clear();
+      ring.reserve(std::min(capacity, std::size_t{1} << 12));
+      write_pos = 0;
+    }
+    until_sample.store(0, std::memory_order_relaxed);
+    sampled_out.store(0, std::memory_order_relaxed);
+    dropped.store(0, std::memory_order_relaxed);
+    current_d = 0.0;
+    front.clear();
+    // Last: publishes the reset to Snapshot()'s epoch filter.
+    epoch.store(new_epoch, std::memory_order_release);
+  }
+};
+
+ExplainRecorder& ExplainRecorder::Global() {
+  static ExplainRecorder* recorder = new ExplainRecorder();
+  return *recorder;
+}
+
+ExplainRecorder* ExplainRecorder::Active() {
+  ExplainRecorder& recorder = Global();
+  return recorder.enabled() ? &recorder : nullptr;
+}
+
+void ExplainRecorder::Enable(const ExplainConfig& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  if (config_.sample_every == 0) config_.sample_every = 1;
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  sample_every_.store(config_.sample_every, std::memory_order_relaxed);
+  ring_capacity_.store(config_.ring_capacity, std::memory_order_relaxed);
+  track_skyline_.store(config_.track_skyline, std::memory_order_relaxed);
+  run_label_.clear();
+  rhs_dims_ = 0;
+  dmax_ = 0;
+  lhs_.clear();
+  lhs_seen_.store(0, std::memory_order_relaxed);
+  lhs_bounded_out_.store(0, std::memory_order_relaxed);
+  candidates_.store(0, std::memory_order_relaxed);
+  evaluated_.store(0, std::memory_order_relaxed);
+  pruned_s0_.store(0, std::memory_order_relaxed);
+  pruned_s1_.store(0, std::memory_order_relaxed);
+  pruned_zero_conf_.store(0, std::memory_order_relaxed);
+  offered_.store(0, std::memory_order_relaxed);
+  next_seq_.store(0, std::memory_order_relaxed);
+  // A new epoch lazily invalidates every thread's buffer; the release
+  // store on enabled_ publishes the config to recording threads.
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void ExplainRecorder::Disable() {
+  if (!enabled_.exchange(false, std::memory_order_acq_rel)) return;
+  // Registry counters are flushed once per recording rather than
+  // incremented per event — the recorder's own totals are the source of
+  // truth and the registry only needs run-granularity deltas.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("explain.lhs_seen")
+      .Add(lhs_seen_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.lhs_bounded_out")
+      .Add(lhs_bounded_out_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.candidates")
+      .Add(candidates_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.evaluated")
+      .Add(evaluated_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.offered")
+      .Add(offered_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.pruned_s0")
+      .Add(pruned_s0_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.pruned_s1")
+      .Add(pruned_s1_.load(std::memory_order_relaxed));
+  registry.GetCounter("explain.pruned_zero_conf")
+      .Add(pruned_zero_conf_.load(std::memory_order_relaxed));
+
+  std::uint64_t recorded = 0;
+  std::uint64_t sampled_out = 0;
+  std::uint64_t dropped = 0;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  for (const auto& buffer : buffers) {
+    if (buffer->epoch.load(std::memory_order_acquire) != epoch) continue;
+    sampled_out += buffer->sampled_out.load(std::memory_order_relaxed);
+    dropped += buffer->dropped.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    recorded += buffer->ring.size();
+  }
+  registry.GetCounter("explain.events_recorded").Add(recorded);
+  registry.GetCounter("explain.events_sampled_out").Add(sampled_out);
+  registry.GetCounter("explain.events_dropped").Add(dropped);
+}
+
+void ExplainRecorder::SetRunLabel(const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  run_label_ = label;
+}
+
+void ExplainRecorder::SetRhsGeometry(std::size_t dims, int dmax) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rhs_dims_ = dims;
+  dmax_ = dmax;
+}
+
+void ExplainRecorder::AddCandidates(std::uint64_t n) {
+  candidates_.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint32_t ExplainRecorder::BeginLhs(const ExplainLevels& levels,
+                                        std::uint64_t lhs_count,
+                                        std::uint64_t total,
+                                        double initial_bound, bool advanced) {
+  lhs_seen_.fetch_add(1, std::memory_order_relaxed);
+
+  ThreadBuffer& tb = EnsureFresh(LocalBuffer());
+  tb.current_d =
+      total > 0 ? static_cast<double>(lhs_count) / static_cast<double>(total)
+                : 0.0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ExplainLhsInfo info;
+  info.seq = static_cast<std::uint32_t>(lhs_.size());
+  info.levels = levels;
+  info.lhs_count = lhs_count;
+  info.total = total;
+  info.initial_bound = initial_bound;
+  info.advanced = advanced;
+  lhs_.push_back(std::move(info));
+  return lhs_.back().seq;
+}
+
+bool ExplainRecorder::WillSampleNextEvent() {
+  ThreadBuffer& tb = EnsureFresh(LocalBuffer());
+  return tb.until_sample.load(std::memory_order_relaxed) == 0;
+}
+
+void ExplainRecorder::RecordEvaluated(std::uint32_t lhs_seq,
+                                      std::uint32_t rhs_index,
+                                      std::uint32_t rank,
+                                      std::uint64_t xy_count,
+                                      double confidence, double quality,
+                                      double cq, double bound,
+                                      ExplainBound bound_kind, bool offered,
+                                      double eval_ns) {
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
+  if (offered) offered_.fetch_add(1, std::memory_order_relaxed);
+  if (eval_ns > 0.0) {
+    static Histogram& latency = MetricsRegistry::Global().GetHistogram(
+        "explain.eval_latency_us", EvalLatencyBoundsUs());
+    latency.Observe(eval_ns / 1e3);
+  }
+
+  ExplainEvent event;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.lhs_seq = lhs_seq;
+  event.rhs_index = rhs_index;
+  event.rank = rank;
+  event.outcome = ExplainOutcome::kEvaluated;
+  event.bound_kind = bound_kind;
+  event.offered = offered;
+  event.xy_count = xy_count;
+  event.confidence = confidence;
+  event.quality = quality;
+  event.cq = cq;
+  event.bound = bound;
+  event.eval_ns = eval_ns;
+  Push(event, /*skyline_support=*/0.0);
+}
+
+void ExplainRecorder::RecordPruned(std::uint32_t lhs_seq,
+                                   std::uint32_t rhs_index,
+                                   std::uint32_t rank, ExplainOutcome outcome,
+                                   double bound, ExplainBound bound_kind) {
+  switch (outcome) {
+    case ExplainOutcome::kPrunedS0:
+      pruned_s0_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ExplainOutcome::kPrunedS1:
+      pruned_s1_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ExplainOutcome::kPrunedZeroConf:
+      pruned_zero_conf_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ExplainOutcome::kEvaluated:
+      return;  // Programmer error; ignore rather than corrupt totals.
+  }
+
+  ExplainEvent event;
+  event.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  event.lhs_seq = lhs_seq;
+  event.rhs_index = rhs_index;
+  event.rank = rank;
+  event.outcome = outcome;
+  event.bound_kind = bound_kind;
+  event.bound = bound;
+  Push(event, /*skyline_support=*/-1.0);
+}
+
+void ExplainRecorder::NoteLhsBoundedOut() {
+  lhs_bounded_out_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ExplainRecorder::ThreadBuffer& ExplainRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer;
+  if (buffer == nullptr) {
+    buffer = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(buffer);
+  }
+  return *buffer;
+}
+
+ExplainRecorder::ThreadBuffer& ExplainRecorder::EnsureFresh(ThreadBuffer& tb) {
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (tb.epoch.load(std::memory_order_relaxed) != epoch) {
+    tb.ResetFor(epoch, ring_capacity_.load(std::memory_order_relaxed));
+  }
+  return tb;
+}
+
+void ExplainRecorder::Push(ExplainEvent event, double skyline_support) {
+  ThreadBuffer& tb = EnsureFresh(LocalBuffer());
+
+  bool forced = event.offered;
+  if (event.outcome == ExplainOutcome::kEvaluated && skyline_support >= 0.0 &&
+      track_skyline_.load(std::memory_order_relaxed)) {
+    const std::array<double, 3> point = {tb.current_d * event.confidence,
+                                         event.confidence, event.quality};
+    bool dominated = false;
+    for (std::size_t i = 0; i < tb.front.size(); ++i) {
+      const auto& f = tb.front[i];
+      if (f[0] >= point[0] && f[1] >= point[1] && f[2] >= point[2] &&
+          (f[0] > point[0] || f[1] > point[1] || f[2] > point[2])) {
+        dominated = true;
+        // Move-to-front: strong dominators kill most subsequent events,
+        // so surfacing this one keeps the scan O(1) in the common case
+        // (front membership is order-independent, so this is safe).
+        if (i > 0) std::swap(tb.front[i], tb.front[i - 1]);
+        break;
+      }
+    }
+    if (!dominated) {
+      forced = true;
+      if (tb.front.size() < kMaxFrontSize) {
+        tb.front.erase(
+            std::remove_if(tb.front.begin(), tb.front.end(),
+                           [&](const std::array<double, 3>& f) {
+                             return point[0] >= f[0] && point[1] >= f[1] &&
+                                    point[2] >= f[2];
+                           }),
+            tb.front.end());
+        tb.front.push_back(point);
+      }
+    }
+  }
+
+  const std::uint64_t until =
+      tb.until_sample.load(std::memory_order_relaxed);
+  const bool sampled = until == 0;
+  tb.until_sample.store(
+      sampled ? sample_every_.load(std::memory_order_relaxed) - 1 : until - 1,
+      std::memory_order_relaxed);
+  if (!forced && !sampled) {
+    tb.sampled_out.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  event.forced = forced;
+  const std::size_t capacity = ring_capacity_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(tb.mu);
+  if (tb.ring.size() < capacity) {
+    tb.ring.push_back(event);
+  } else {
+    tb.ring[tb.write_pos] = event;
+    tb.write_pos = (tb.write_pos + 1) % capacity;
+    tb.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ExplainSnapshot ExplainRecorder::Snapshot() const {
+  ExplainSnapshot snapshot;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.config = config_;
+    snapshot.run_label = run_label_;
+    snapshot.rhs_dims = rhs_dims_;
+    snapshot.dmax = dmax_;
+    snapshot.lhs = lhs_;
+    buffers = buffers_;
+  }
+  snapshot.waterfall.lhs_seen = lhs_seen_.load(std::memory_order_relaxed);
+  snapshot.waterfall.lhs_bounded_out =
+      lhs_bounded_out_.load(std::memory_order_relaxed);
+  snapshot.waterfall.candidates = candidates_.load(std::memory_order_relaxed);
+  snapshot.waterfall.evaluated = evaluated_.load(std::memory_order_relaxed);
+  snapshot.waterfall.pruned_s0 = pruned_s0_.load(std::memory_order_relaxed);
+  snapshot.waterfall.pruned_s1 = pruned_s1_.load(std::memory_order_relaxed);
+  snapshot.waterfall.pruned_zero_conf =
+      pruned_zero_conf_.load(std::memory_order_relaxed);
+  snapshot.waterfall.offered = offered_.load(std::memory_order_relaxed);
+
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  for (const auto& buffer : buffers) {
+    if (buffer->epoch.load(std::memory_order_acquire) != epoch) {
+      continue;  // Stale (previous run).
+    }
+    snapshot.sampled_out += buffer->sampled_out.load(std::memory_order_relaxed);
+    snapshot.dropped += buffer->dropped.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    snapshot.events.insert(snapshot.events.end(), buffer->ring.begin(),
+                           buffer->ring.end());
+  }
+  snapshot.recorded = snapshot.events.size();
+  std::sort(snapshot.events.begin(), snapshot.events.end(),
+            [](const ExplainEvent& a, const ExplainEvent& b) {
+              return a.seq < b.seq;
+            });
+  return snapshot;
+}
+
+}  // namespace dd::obs

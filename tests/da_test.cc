@@ -1,5 +1,7 @@
 #include "core/da.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
@@ -151,6 +153,29 @@ TEST(DaStatsTest, PruningRateDefinition) {
   EXPECT_DOUBLE_EQ(stats.PruningRate(), 0.9);
   DaStats empty;
   EXPECT_DOUBLE_EQ(empty.PruningRate(), 0.0);
+}
+
+TEST(DaStatsTest, PruningRateGuardsDegenerateLattices) {
+  // Regression (division-by-zero guard): a zero lattice_size — nothing
+  // searched yet, or every candidate bounded out before any PA call —
+  // must report 0.0, never NaN or inf.
+  DaStats empty;
+  EXPECT_TRUE(std::isfinite(empty.PruningRate()));
+  EXPECT_EQ(empty.PruningRate(), 0.0);
+
+  // A real degenerate run (all-zero confidence everywhere) also stays
+  // finite and inside [0, 1].
+  std::vector<std::vector<Level>> rows(20, {4, 4});
+  MatchingRelation m = MakeMatching({"x", "y"}, 4, rows);
+  ResolvedRule rule{{0}, {1}};
+  ScanMeasureProvider provider(m, rule);
+  DaStats stats;
+  auto best = DetermineBestPatterns(&provider, 1, 1, 4,
+                                    BaseOptions(true, true), &stats);
+  EXPECT_TRUE(best.empty());
+  EXPECT_TRUE(std::isfinite(stats.PruningRate()));
+  EXPECT_GE(stats.PruningRate(), 0.0);
+  EXPECT_LE(stats.PruningRate(), 1.0);
 }
 
 TEST(DaTest, AllZeroConfidenceYieldsEmptyResult) {

@@ -15,6 +15,18 @@
 //                    [--save-matching m.ddmr | --load-matching m.ddmr]
 //                    (persist / reuse the pairwise matching relation,
 //                     the expensive step, across invocations)
+//   ddtool explain   same matching/rule/search flags as determine, but
+//                    runs with the EXPLAIN decision recorder enabled
+//                    and renders the audit: pruning waterfall,
+//                    winner-vs-runner-up diff, per-candidate events
+//                    [--explain_sample K] keep every K-th event
+//                     (winner / bound-advancing / skyline events are
+//                     always kept; waterfall totals stay exact)
+//                    [--ring_capacity N] per-thread event ring size
+//                    [--audit_json audit.json] write the JSON audit doc
+//                    [--landscape surface.csv|.jsonl] utility landscape
+//                     (ϕ coordinates -> D,C,Q,CQ,Ū) for plotting
+//                    [--json] print the audit document on stdout
 //   ddtool detect    --input dirty.csv --lhs a,b --rhs c --pattern "4,2->3"
 //                    [--dmax 10] [--metric ...] [--out pairs.csv]
 //                    [--trace_json report.json]
@@ -63,6 +75,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -83,6 +96,8 @@
 #include "discover/rule_explorer.h"
 #include "matching/builder.h"
 #include "matching/serialization.h"
+#include "obs/explain/audit.h"
+#include "obs/explain/recorder.h"
 #include "obs/export/chrome_trace.h"
 #include "obs/export/http_server.h"
 #include "obs/export/sampler.h"
@@ -95,7 +110,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ddtool "
-      "<generate|determine|detect|discover|append|watch|serve> [flags]\n"
+      "<generate|determine|explain|detect|discover|append|watch|serve> "
+      "[flags]\n"
       "see the header of tools/ddtool.cc or README.md for flags\n");
   return 1;
 }
@@ -355,6 +371,23 @@ int RunGenerate(const dd::ArgParser& args) {
   return 0;
 }
 
+// Shared by determine / explain: the matching relation, either
+// deserialized from --load-matching or built from --input.
+dd::Result<dd::MatchingRelation> LoadMatching(const dd::ArgParser& args,
+                                              const dd::RuleSpec& rule) {
+  dd::obs::TraceSpan span("load_input");
+  const std::string load_matching = args.GetString("load-matching");
+  if (!load_matching.empty()) return dd::ReadMatchingFile(load_matching);
+  const std::string input = args.GetString("input");
+  if (input.empty()) {
+    return dd::Status::InvalidArgument(
+        "--input (CSV) or --load-matching (.ddmr) required");
+  }
+  DD_ASSIGN_OR_RETURN(dd::Relation relation, dd::ReadCsvFile(input));
+  DD_ASSIGN_OR_RETURN(dd::MatchingOptions moptions, MatchingFromFlags(args));
+  return dd::BuildMatchingRelation(relation, rule.AllAttributes(), moptions);
+}
+
 int RunDetermine(const dd::ArgParser& args) {
   std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
   std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
@@ -363,27 +396,7 @@ int RunDetermine(const dd::ArgParser& args) {
   }
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
 
-  dd::Result<dd::MatchingRelation> matching =
-      dd::Status::Internal("matching not initialized");
-  {
-    dd::obs::TraceSpan span("load_input");
-    const std::string load_matching = args.GetString("load-matching");
-    if (!load_matching.empty()) {
-      matching = dd::ReadMatchingFile(load_matching);
-    } else {
-      const std::string input = args.GetString("input");
-      if (input.empty()) {
-        return Fail(dd::Status::InvalidArgument(
-            "--input (CSV) or --load-matching (.ddmr) required"));
-      }
-      auto relation = dd::ReadCsvFile(input);
-      if (!relation.ok()) return Fail(relation.status());
-      auto moptions = MatchingFromFlags(args);
-      if (!moptions.ok()) return Fail(moptions.status());
-      matching =
-          dd::BuildMatchingRelation(*relation, rule.AllAttributes(), *moptions);
-    }
-  }
+  dd::Result<dd::MatchingRelation> matching = LoadMatching(args, rule);
   if (!matching.ok()) return Fail(matching.status());
   if (!args.Has("json")) {
     // Keep stdout pure JSON under --json (pipe-friendly).
@@ -420,6 +433,113 @@ int RunDetermine(const dd::ArgParser& args) {
               result->patterns.size(), result->elapsed_seconds,
               result->stats.PruningRate(), result->prior_mean_cq);
   std::printf("%-30s %8s %8s %8s %6s %9s\n", "pattern", "D", "C", "S", "Q",
+              "utility");
+  for (const auto& p : result->patterns) {
+    std::printf("%-30s %8.4f %8.4f %8.4f %6.2f %9.4f\n",
+                dd::PatternToString(p.pattern).c_str(), p.measures.d,
+                p.measures.confidence, p.measures.support, p.measures.quality,
+                p.utility);
+  }
+  if (args.Has("print_stats")) PrintSearchStats(*result);
+  return 0;
+}
+
+// Writes `content` to `path` (overwriting), fopen-based like the obs
+// report writers.
+dd::Status WriteTextFile(const std::string& content, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return dd::Status::Internal("cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const int closed = std::fclose(f);
+  if (written != content.size() || closed != 0) {
+    return dd::Status::Internal("short write to " + path);
+  }
+  return dd::Status::Ok();
+}
+
+// `ddtool explain`: a determination run with the EXPLAIN recorder on,
+// followed by the audit consumers — JSON audit document, pruning
+// waterfall, winner-vs-runner-up diff, utility-landscape export.
+int RunExplain(const dd::ArgParser& args) {
+  std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
+  std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
+  if (lhs.empty() || rhs.empty()) {
+    return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
+  }
+  dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+
+  dd::Result<dd::MatchingRelation> matching = LoadMatching(args, rule);
+  if (!matching.ok()) return Fail(matching.status());
+  auto doptions = DetermineFromFlags(args);
+  if (!doptions.ok()) return Fail(doptions.status());
+
+  dd::obs::ExplainConfig config;
+  auto sample = args.GetInt("explain_sample", 1);
+  if (!sample.ok()) return Fail(sample.status());
+  if (*sample < 1) {
+    return Fail(dd::Status::InvalidArgument("--explain_sample must be >= 1"));
+  }
+  config.sample_every = static_cast<std::size_t>(*sample);
+  auto ring = args.GetInt("ring_capacity", 1 << 16);
+  if (!ring.ok()) return Fail(ring.status());
+  if (*ring < 1) {
+    return Fail(dd::Status::InvalidArgument("--ring_capacity must be >= 1"));
+  }
+  config.ring_capacity = static_cast<std::size_t>(*ring);
+
+  dd::obs::ExplainRecorder& recorder = dd::obs::ExplainRecorder::Global();
+  recorder.Enable(config);
+  auto result = dd::DetermineThresholds(*matching, rule, *doptions);
+  const dd::obs::ExplainSnapshot snapshot = recorder.Snapshot();
+  recorder.Disable();
+  if (!result.ok()) return Fail(result.status());
+
+  const std::string audit =
+      dd::ExplainAuditToJson(snapshot, *result, rule, doptions->utility);
+  const std::string audit_path = args.GetString("audit_json");
+  if (!audit_path.empty()) {
+    dd::Status written = WriteTextFile(audit, audit_path);
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "wrote audit document to %s\n", audit_path.c_str());
+  }
+  const std::string landscape_path = args.GetString("landscape");
+  if (!landscape_path.empty()) {
+    const bool jsonl = landscape_path.size() >= 6 &&
+                       landscape_path.rfind(".jsonl") ==
+                           landscape_path.size() - 6;
+    const std::string landscape =
+        jsonl ? dd::LandscapeToJsonl(snapshot, rule, doptions->utility,
+                                     result->prior_mean_cq)
+              : dd::LandscapeToCsv(snapshot, rule, doptions->utility,
+                                   result->prior_mean_cq);
+    dd::Status written = WriteTextFile(landscape, landscape_path);
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "wrote utility landscape to %s\n",
+                 landscape_path.c_str());
+  }
+
+  dd::Status trace_status = MaybeWriteTraceReport(
+      args, "ddtool explain " + args.GetString("algo", "DAP+PAP"));
+  if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
+
+  if (args.Has("json")) {
+    std::printf("%s", audit.c_str());
+    return 0;
+  }
+  std::printf("matching relation: %zu tuples (dmax=%d)\n",
+              matching->num_tuples(), matching->dmax());
+  std::printf("%s: %" PRIu64 " event(s) recorded, %" PRIu64
+              " sampled out, %" PRIu64 " dropped (sample_every=%zu)\n",
+              snapshot.run_label.c_str(), snapshot.recorded,
+              snapshot.sampled_out, snapshot.dropped,
+              snapshot.config.sample_every);
+  std::printf("\n%s", dd::PruningWaterfallToText(snapshot, *result).c_str());
+  std::printf("\n%s", dd::WhyChosenToText(*result).c_str());
+  std::printf("\n%-30s %8s %8s %8s %6s %9s\n", "pattern", "D", "C", "S", "Q",
               "utility");
   for (const auto& p : result->patterns) {
     std::printf("%-30s %8.4f %8.4f %8.4f %6.2f %9.4f\n",
@@ -791,6 +911,7 @@ int main(int argc, char** argv) {
   dd::ArgParser args(argc, argv, 2);
   if (command == "generate") return RunGenerate(args);
   if (command == "determine") return RunDetermine(args);
+  if (command == "explain") return RunExplain(args);
   if (command == "detect") return RunDetect(args);
   if (command == "discover") return RunDiscover(args);
   if (command == "append") return RunIncremental(args, /*watch=*/false);
