@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "common/flags.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -42,6 +44,29 @@ std::size_t BenchPairs(std::size_t fallback) {
     if (v > 0) base = static_cast<std::size_t>(v);
   }
   return Scaled(base);
+}
+
+void ApplyThreadsArg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--threads") {
+      const long v = std::atol(argv[i + 1]);
+      if (v > 0) SetDefaultThreads(static_cast<std::size_t>(v));
+      return;
+    }
+  }
+}
+
+std::vector<std::size_t> ThreadSweep(std::vector<std::size_t> fallback) {
+  const char* env = std::getenv("DD_BENCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    std::vector<std::size_t> sweep;
+    for (const std::string& token : SplitFlagList(env)) {
+      const long v = std::atol(token.c_str());
+      if (v > 0) sweep.push_back(static_cast<std::size_t>(v));
+    }
+    if (!sweep.empty()) return sweep;
+  }
+  return fallback;
 }
 
 std::vector<std::size_t> ScalabilitySizes() {

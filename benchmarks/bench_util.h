@@ -4,9 +4,13 @@
 // Cora / Restaurant / CiteSeer data sets (see DESIGN.md §3).
 //
 // Environment knobs (all harnesses):
-//   DD_BENCH_PAIRS  — matching-relation size for fixed-size experiments
-//                     (default 20000)
-//   DD_BENCH_SCALE  — multiplies every data size (default 1.0)
+//   DD_BENCH_PAIRS    — matching-relation size for fixed-size experiments
+//                       (default 20000)
+//   DD_BENCH_SCALE    — multiplies every data size (default 1.0)
+//   DD_BENCH_THREADS  — comma list of worker-pool sizes for the
+//                       thread-sweep harnesses, e.g. "1,2,4,8"
+// All harnesses additionally accept --threads N (equivalent to
+// DD_THREADS=N): it sets the process-wide DefaultThreads().
 
 #ifndef DD_BENCHMARKS_BENCH_UTIL_H_
 #define DD_BENCHMARKS_BENCH_UTIL_H_
@@ -50,6 +54,15 @@ std::size_t BenchPairs(std::size_t fallback = 20000);
 
 // Applies DD_BENCH_SCALE to a size.
 std::size_t Scaled(std::size_t size);
+
+// Applies a `--threads N` argument (any position) to the process-wide
+// worker pool via SetDefaultThreads. Call first in main().
+void ApplyThreadsArg(int argc, char** argv);
+
+// Thread counts for the thread-sweep harnesses: the DD_BENCH_THREADS
+// comma list when set, else `fallback` (empty fallback = {1, 2, 4, 8}).
+std::vector<std::size_t> ThreadSweep(
+    std::vector<std::size_t> fallback = {1, 2, 4, 8});
 
 // Data-size sweep for the scalability figures (paper: 100k..1m; the
 // defaults here are 20k..100k so the whole suite runs in minutes —

@@ -12,7 +12,9 @@
 // where "phases" carries the per-phase wall times recorded by the
 // tracing layer (src/obs) and "histograms" the p50/p95/p99 estimates of
 // every latency histogram touched by the run — grep '^BENCH_JSON ' to
-// collect them.
+// collect them. DD_BENCH_THREADS="1,2,4,8" additionally sweeps the
+// worker-pool size per cell, stamping rows with "threads" and
+// "speedup_vs_1" (see benchmarks/bench_util.h).
 
 #include <cstdio>
 #include <string>
@@ -22,11 +24,18 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dd::bench::ApplyThreadsArg(argc, argv);
   std::printf("=== Figure 2: time performance on various data sizes "
               "(return largest U) ===\n");
   const char* approaches[] = {"DA+PA", "DA+PAP", "DAP+PAP"};
   const auto sizes = dd::bench::ScalabilitySizes();
+  // Thread-sweep mode: DD_BENCH_THREADS="1,2,4,8" measures every
+  // (rule, size, approach) cell once per pool size and stamps the
+  // BENCH_JSON rows with "threads" and "speedup_vs_1". The default is
+  // one run at the process default (results are bit-identical at any
+  // thread count; only the wall times differ).
+  const std::vector<std::size_t> sweep = dd::bench::ThreadSweep({0});
 
   for (const auto& rule : dd::bench::kRules) {
     std::printf("\n%s\n", rule.label);
@@ -39,24 +48,36 @@ int main() {
           dd::bench::MakeRuleWorkload(rule.number, size);
       std::printf("%10zu", w.matching.num_tuples());
       for (const char* a : approaches) {
-        auto opts = dd::bench::ApproachOptions(a);
-        dd::bench::ResetPhaseTimings();
-        auto result = dd::DetermineThresholds(w.matching, w.rule, opts);
-        if (!result.ok()) {
-          std::printf(" %12s", "error");
-          continue;
+        double one_thread_s = 0.0;
+        for (std::size_t threads : sweep) {
+          auto opts = dd::bench::ApproachOptions(a);
+          opts.threads = threads;
+          dd::bench::ResetPhaseTimings();
+          auto result = dd::DetermineThresholds(w.matching, w.rule, opts);
+          if (!result.ok()) {
+            if (threads == sweep.back()) std::printf(" %12s", "error");
+            continue;
+          }
+          if (threads == 1) one_thread_s = result->elapsed_seconds;
+          const double speedup =
+              one_thread_s > 0.0 && result->elapsed_seconds > 0.0
+                  ? one_thread_s / result->elapsed_seconds
+                  : 0.0;
+          if (threads == sweep.back()) {
+            std::printf(" %11.3fs", result->elapsed_seconds);
+          }
+          std::string row = dd::StrFormat(
+              "{\"figure\": 2, \"rule\": %d, \"approach\": \"%s\", "
+              "\"pairs\": %zu, \"threads\": %zu, \"elapsed_s\": %.6f, "
+              "\"speedup_vs_1\": %.3f, \"phases\": ",
+              rule.number, a, w.matching.num_tuples(), threads,
+              result->elapsed_seconds, speedup);
+          row += dd::bench::PhaseTimingsJson();
+          row += ", \"histograms\": ";
+          row += dd::bench::HistogramPercentilesJson();
+          row += "}";
+          json_rows.push_back(std::move(row));
         }
-        std::printf(" %11.3fs", result->elapsed_seconds);
-        std::string row = dd::StrFormat(
-            "{\"figure\": 2, \"rule\": %d, \"approach\": \"%s\", "
-            "\"pairs\": %zu, \"elapsed_s\": %.6f, \"phases\": ",
-            rule.number, a, w.matching.num_tuples(),
-            result->elapsed_seconds);
-        row += dd::bench::PhaseTimingsJson();
-        row += ", \"histograms\": ";
-        row += dd::bench::HistogramPercentilesJson();
-        row += "}";
-        json_rows.push_back(std::move(row));
       }
       std::printf("\n");
       std::fflush(stdout);

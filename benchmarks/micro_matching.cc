@@ -45,6 +45,28 @@ void BM_BuildMatchingSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildMatchingSampled)->Arg(5000)->Arg(20000)->Arg(50000);
 
+// Thread sweep of the parallel triangular build (arg = worker-pool
+// size); compare against Arg(1) for the speedup.
+void BM_BuildMatchingThreads(benchmark::State& state) {
+  dd::RestaurantOptions gopts;
+  gopts.num_entities = 120;
+  dd::GeneratedData data = dd::GenerateRestaurant(gopts);
+  dd::MatchingOptions mopts;
+  mopts.dmax = 10;
+  mopts.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t tuples = 0;
+  for (auto _ : state) {
+    auto m = dd::BuildMatchingRelation(data.relation,
+                                       {"name", "address", "city"}, mopts);
+    benchmark::DoNotOptimize(m);
+    tuples = m.ok() ? m->num_tuples() : 0;
+  }
+  state.counters["matching_tuples"] = static_cast<double>(tuples);
+  state.counters["pairs_per_second"] = benchmark::Counter(
+      static_cast<double>(tuples), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BuildMatchingThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -5,9 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "metric/levenshtein.h"
 #include "metric/metric.h"
 
 namespace {
@@ -52,6 +54,47 @@ void BM_LevenshteinBanded(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LevenshteinBanded)->Arg(2)->Arg(10)->Arg(30);
+
+// The three Levenshtein kernels head to head on random strings of the
+// arg length (equal lengths — worst case for the band): reference DP,
+// Myers bit-parallel (lengths <= 64 only), banded early-exit DP.
+std::pair<std::string, std::string> RandomPair(std::size_t length) {
+  dd::Rng rng(length * 2654435761u + 17);
+  auto make = [&] {
+    std::string s(length, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + rng.NextBounded(26));
+    return s;
+  };
+  return {make(), make()};
+}
+
+void BM_LevKernelReferenceDp(benchmark::State& state) {
+  const auto [a, b] = RandomPair(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::lev::ReferenceDp(a, b));
+  }
+}
+BENCHMARK(BM_LevKernelReferenceDp)->Arg(16)->Arg(64)->Arg(200);
+
+void BM_LevKernelMyers64(benchmark::State& state) {
+  const auto [a, b] = RandomPair(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::lev::Myers64(a, b));
+  }
+}
+BENCHMARK(BM_LevKernelMyers64)->Arg(16)->Arg(64);
+
+void BM_LevKernelBanded(benchmark::State& state) {
+  const auto [a, b] = RandomPair(static_cast<std::size_t>(state.range(0)));
+  const std::size_t cap = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::lev::Banded(a, b, cap));
+  }
+}
+BENCHMARK(BM_LevKernelBanded)
+    ->Args({200, 2})
+    ->Args({200, 10})
+    ->Args({200, 50});
 
 void BM_QGram(benchmark::State& state) {
   dd::QGramMetric qgram(static_cast<std::size_t>(state.range(0)));

@@ -1,6 +1,23 @@
-// Minimal data-parallel helper: static range partitioning over
-// std::thread. The counting scans over the matching relation are
-// embarrassingly parallel; this is all the machinery they need.
+// Data-parallel helper: static range partitioning over a shared,
+// lazily-initialized worker pool. The counting scans over the matching
+// relation, the triangular matching build, and the candidate-lattice
+// sweeps are embarrassingly parallel; this is all the machinery they
+// need.
+//
+// Concurrency model (DESIGN.md §12):
+//  * One process-wide pool, started on the first ParallelFor that wants
+//    more than one chunk. Workers are reused across calls — no per-call
+//    std::thread spawn/join cost on the hot paths.
+//  * The calling thread participates: it claims chunks alongside the
+//    workers, so `threads` means "total concurrency", not "extra
+//    threads".
+//  * Nested ParallelFor calls issued from inside a pool chunk run
+//    inline on the calling worker (single chunk). This keeps nested
+//    parallel code deadlock-free and stops thread counts from
+//    multiplying when a parallel outer loop drives a provider whose
+//    scans are themselves ParallelFor-based.
+//  * The pool joins its workers at static destruction; calls racing
+//    shutdown degrade to inline execution.
 
 #ifndef DD_COMMON_PARALLEL_H_
 #define DD_COMMON_PARALLEL_H_
@@ -10,11 +27,25 @@
 
 namespace dd {
 
+// Process-wide default concurrency: the last SetDefaultThreads value,
+// else the DD_THREADS environment variable, else
+// std::thread::hardware_concurrency(). Always >= 1.
+std::size_t DefaultThreads();
+
+// Overrides DefaultThreads() for the process (the --threads flag).
+// n == 0 restores the environment/hardware default.
+void SetDefaultThreads(std::size_t n);
+
 // Invokes fn(chunk_index, begin, end) for a static partition of
-// [0, count) into `threads` contiguous chunks, running chunks on
-// separate threads. threads <= 1 (or count small) runs inline on the
-// calling thread. fn must be safe to call concurrently for disjoint
-// chunks. Blocks until every chunk finished.
+// [0, count) into at most `threads` contiguous chunks, running chunks
+// concurrently on the shared pool (the caller participates).
+// threads == 0 means DefaultThreads(); threads <= 1 (or count small)
+// runs inline on the calling thread. fn must be safe to call
+// concurrently for disjoint chunks. Blocks until every chunk finished.
+//
+// The partition depends only on (count, threads) — never on how chunks
+// were interleaved across workers — so deterministic per-chunk merges
+// produce identical results at any concurrency.
 void ParallelFor(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t chunk, std::size_t begin,
                                           std::size_t end)>& fn);
@@ -22,6 +53,11 @@ void ParallelFor(std::size_t count, std::size_t threads,
 // Number of chunks ParallelFor will actually use (never more than
 // count, never less than 1).
 std::size_t EffectiveChunks(std::size_t count, std::size_t threads);
+
+// True while the current thread is executing a ParallelFor chunk (on a
+// pool worker or the participating caller). Nested ParallelFor calls
+// observe this and run inline.
+bool InParallelChunk();
 
 }  // namespace dd
 

@@ -1,8 +1,10 @@
 #include "core/da.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "core/candidate_lattice.h"
 #include "obs/explain/recorder.h"
 #include "obs/log.h"
@@ -51,6 +53,25 @@ class TopPatterns {
   std::vector<DeterminedPattern> heap_;
 };
 
+// One clone per ParallelFor chunk, or empty when the provider cannot
+// clone (the callers then fall back to the sequential path).
+std::vector<std::unique_ptr<MeasureProvider>> MakeClones(
+    const MeasureProvider& provider, std::size_t count, std::size_t threads) {
+  std::vector<std::unique_ptr<MeasureProvider>> clones;
+  const std::size_t chunks = EffectiveChunks(count, threads);
+  if (chunks <= 1) return clones;
+  clones.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    auto clone = provider.CloneForThread();
+    if (clone == nullptr) {
+      clones.clear();
+      return clones;
+    }
+    clones.push_back(std::move(clone));
+  }
+  return clones;
+}
+
 }  // namespace
 
 std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
@@ -63,6 +84,9 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
   CandidateLattice lhs_lattice(lhs_dims, dmax);
   std::vector<std::uint32_t> lhs_order = CandidateLattice::MakeOrder(
       lhs_dims, dmax, ProcessingOrder::kLexicographic);
+  const std::size_t threads =
+      options.threads == 0 ? DefaultThreads() : options.threads;
+  obs::ExplainRecorder* rec = obs::ExplainRecorder::Active();
 
   std::vector<std::uint64_t> lhs_counts;
   if (options.advanced_bound) {
@@ -73,10 +97,31 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
     // (the paper amortizes the ordering; recomputing D per LHS would
     // double the LHS scans and could make DAP slower than DA on rules
     // with a large C_X).
+    //
+    // The |C_X| counts are independent, so the pass partitions across
+    // provider clones; clone stats merge back so the totals match the
+    // sequential pass exactly.
     lhs_counts.resize(lhs_lattice.size());
-    for (std::uint32_t idx : lhs_order) {
-      provider->SetLhs(lhs_lattice.LevelsOf(idx));
-      lhs_counts[idx] = provider->lhs_count();
+    std::vector<std::unique_ptr<MeasureProvider>> clones;
+    if (threads > 1 && !InParallelChunk()) {
+      clones = MakeClones(*provider, lhs_order.size(), threads);
+    }
+    if (!clones.empty()) {
+      ParallelFor(lhs_order.size(), threads,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    MeasureProvider* p = clones[chunk].get();
+                    for (std::size_t pos = begin; pos < end; ++pos) {
+                      const std::uint32_t idx = lhs_order[pos];
+                      p->SetLhs(lhs_lattice.LevelsOf(idx));
+                      lhs_counts[idx] = p->lhs_count();
+                    }
+                  });
+      for (const auto& clone : clones) provider->AddStats(clone->stats());
+    } else {
+      for (std::uint32_t idx : lhs_order) {
+        provider->SetLhs(lhs_lattice.LevelsOf(idx));
+        lhs_counts[idx] = provider->lhs_count();
+      }
     }
     std::stable_sort(lhs_order.begin(), lhs_order.end(),
                      [&](std::uint32_t a, std::uint32_t b) {
@@ -88,10 +133,74 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
   TopPatterns top(options.top_l);
   PaOptions pa_options = options.pa;
   pa_options.top_l = options.top_l;
-  obs::ExplainRecorder* rec = obs::ExplainRecorder::Active();
+  pa_options.threads = threads;
 
   std::size_t lhs_evaluated = 0;
   PaStats pa_stats;
+
+  // Parallel DA (DESIGN.md §12): with advanced_bound off, every per-LHS
+  // search runs with initial bound 0 and a fresh per-call top-l heap —
+  // the only cross-LHS state is the utility heap, which only consumes
+  // (pattern, utility) offers. So the LHS sweep partitions across
+  // provider clones and the offers replay in sequential LHS order:
+  // results, DaStats, and provider stats are bit-identical to the
+  // sequential run. EXPLAIN-recorded runs stay sequential so the audit
+  // document's event order is reproducible.
+  if (threads > 1 && !options.advanced_bound && rec == nullptr &&
+      !InParallelChunk() && lhs_order.size() > 1) {
+    std::vector<std::unique_ptr<MeasureProvider>> clones =
+        MakeClones(*provider, lhs_order.size(), threads);
+    if (!clones.empty()) {
+      pa_options.initial_bound_advanced = false;  // bound is always 0 here
+      struct LhsOutcome {
+        std::uint64_t n = 0;
+        std::vector<RhsCandidate> best;
+        PaStats pa;
+      };
+      std::vector<LhsOutcome> outcomes(lhs_order.size());
+      ParallelFor(lhs_order.size(), threads,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    MeasureProvider* p = clones[chunk].get();
+                    for (std::size_t pos = begin; pos < end; ++pos) {
+                      obs::TraceSpan lhs_span("lhs_search");
+                      LhsOutcome& out = outcomes[pos];
+                      p->SetLhs(lhs_lattice.LevelsOf(lhs_order[pos]));
+                      out.n = p->lhs_count();
+                      out.best = FindBestRhs(p, rhs_dims, dmax, /*bound=*/0.0,
+                                             pa_options, &out.pa);
+                    }
+                  });
+      // Deterministic merge in sequential LHS order.
+      for (std::size_t pos = 0; pos < lhs_order.size(); ++pos) {
+        LhsOutcome& out = outcomes[pos];
+        ++lhs_evaluated;
+        pa_stats.lattice_size += out.pa.lattice_size;
+        pa_stats.evaluated += out.pa.evaluated;
+        pa_stats.pruned += out.pa.pruned;
+        const Levels lhs = lhs_lattice.LevelsOf(lhs_order[pos]);
+        for (RhsCandidate& c : out.best) {
+          DeterminedPattern p;
+          p.pattern.lhs = lhs;
+          p.pattern.rhs = std::move(c.rhs);
+          p.measures = MeasuresFromCounts(total, out.n, c.xy_count,
+                                          p.pattern.rhs, dmax);
+          p.utility = ExpectedUtility(total, out.n, p.measures.confidence,
+                                      p.measures.quality, options.utility);
+          top.Offer(std::move(p));
+        }
+      }
+      for (const auto& clone : clones) provider->AddStats(clone->stats());
+      if (stats != nullptr) {
+        stats->lhs_total += lhs_lattice.size();
+        stats->lhs_evaluated += lhs_evaluated;
+        stats->rhs.lattice_size += pa_stats.lattice_size;
+        stats->rhs.evaluated += pa_stats.evaluated;
+        stats->rhs.pruned += pa_stats.pruned;
+      }
+      return std::move(top).Sorted();
+    }
+  }
+
   for (std::uint32_t idx : lhs_order) {
     // Aggregated per-LHS phase: one span node, |C_X| entries.
     obs::TraceSpan lhs_span("lhs_search");

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "core/expected_utility.h"
@@ -53,13 +54,14 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
         ProcessingOrderName(options.order), options.top_l));
   }
   DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
+  const std::size_t threads =
+      options.threads == 0 ? DefaultThreads() : options.threads;
   std::unique_ptr<MeasureProvider> provider;
   {
     obs::TraceSpan span("provider_build");
     DD_ASSIGN_OR_RETURN(provider,
                         MakeMeasureProvider(matching, resolved,
-                                            options.provider,
-                                            options.provider_threads));
+                                            options.provider, threads));
   }
 
   DetermineResult result;
@@ -83,6 +85,7 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
   da.pa.top_l = options.top_l;
   da.top_l = options.top_l;
   da.utility = utility;
+  da.threads = threads;
 
   Stopwatch timer;
   {

@@ -34,8 +34,11 @@ struct DetermineOptions {
   std::size_t top_l = 1;
   // Measure provider: "scan" (paper-faithful), "scan_subset", "grid".
   std::string provider = "scan";
-  // Worker threads for the scan-based providers (1 = serial).
-  std::size_t provider_threads = 1;
+  // Concurrency of the whole determination (0 = DefaultThreads(), i.e.
+  // the --threads flag / DD_THREADS env): provider scans, the parallel
+  // LHS sweep, and within-LHS candidate evaluation. Results are
+  // bit-identical at any value; 1 forces the fully sequential paths.
+  std::size_t threads = 0;
   // Prior CQ̄ estimation sample; 0 keeps utility.prior_mean_cq as given.
   std::size_t prior_sample_size = 200;
   std::uint64_t prior_seed = 99;

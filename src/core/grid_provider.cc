@@ -27,11 +27,11 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
   provider->dmax_ = matching.dmax();
   provider->lhs_dims_ = rule.lhs.size();
   provider->rhs_dims_ = rule.rhs.size();
-  provider->joint_.assign(cells, 0);
+  std::vector<std::uint64_t> joint(cells, 0);
 
   std::size_t lhs_cells = 1;
   for (std::size_t d = 0; d < rule.lhs.size(); ++d) lhs_cells *= base;
-  provider->lhs_grid_.assign(lhs_cells, 0);
+  std::vector<std::uint64_t> lhs_grid(lhs_cells, 0);
 
   // Histogram pass: one increment per matching tuple in each grid.
   const std::size_t m = matching.num_tuples();
@@ -46,12 +46,16 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
       joint_idx = joint_idx * base + matching.level(row, rule.lhs[a]);
       lhs_idx = lhs_idx * base + matching.level(row, rule.lhs[a]);
     }
-    ++provider->joint_[joint_idx];
-    ++provider->lhs_grid_[lhs_idx];
+    ++joint[joint_idx];
+    ++lhs_grid[lhs_idx];
   }
 
-  grid::PrefixSumAllDims(&provider->joint_, dims, base);
-  grid::PrefixSumAllDims(&provider->lhs_grid_, rule.lhs.size(), base);
+  grid::PrefixSumAllDims(&joint, dims, base);
+  grid::PrefixSumAllDims(&lhs_grid, rule.lhs.size(), base);
+  provider->joint_ =
+      std::make_shared<const std::vector<std::uint64_t>>(std::move(joint));
+  provider->lhs_grid_ =
+      std::make_shared<const std::vector<std::uint64_t>>(std::move(lhs_grid));
   obs::MetricsRegistry::Global().GetGauge("provider.grid_cells").Set(
       static_cast<double>(cells));
   DD_LOG(INFO) << "grid provider built: " << cells << " cells over "
@@ -70,13 +74,12 @@ void GridMeasureProvider::SetLhs(const Levels& lhs) {
     DD_CHECK_LE(lhs[a], dmax_);
     idx = idx * base + static_cast<std::size_t>(lhs[a]);
   }
-  lhs_count_ = lhs_grid_[idx];
+  lhs_count_ = (*lhs_grid_)[idx];
 }
 
-std::uint64_t GridMeasureProvider::CountXY(const Levels& rhs) {
+std::size_t GridMeasureProvider::JointIndex(const Levels& rhs) const {
   DD_CHECK_EQ(rhs.size(), rhs_dims_);
   DD_CHECK_EQ(current_lhs_.size(), lhs_dims_);
-  ++stats_.xy_evaluations;
   const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
   std::size_t idx = 0;
   for (std::size_t a = rhs_dims_; a-- > 0;) {
@@ -87,7 +90,27 @@ std::uint64_t GridMeasureProvider::CountXY(const Levels& rhs) {
   for (std::size_t a = lhs_dims_; a-- > 0;) {
     idx = idx * base + static_cast<std::size_t>(current_lhs_[a]);
   }
-  return joint_[idx];
+  return idx;
+}
+
+std::uint64_t GridMeasureProvider::CountXY(const Levels& rhs) {
+  ++stats_.xy_evaluations;
+  return (*joint_)[JointIndex(rhs)];
+}
+
+std::uint64_t GridMeasureProvider::CountXYConcurrent(const Levels& rhs) const {
+  return (*joint_)[JointIndex(rhs)];
+}
+
+std::unique_ptr<MeasureProvider> GridMeasureProvider::CloneForThread() const {
+  auto clone = std::unique_ptr<GridMeasureProvider>(new GridMeasureProvider());
+  clone->total_ = total_;
+  clone->dmax_ = dmax_;
+  clone->lhs_dims_ = lhs_dims_;
+  clone->rhs_dims_ = rhs_dims_;
+  clone->joint_ = joint_;
+  clone->lhs_grid_ = lhs_grid_;
+  return clone;
 }
 
 Result<std::unique_ptr<MeasureProvider>> MakeMeasureProvider(

@@ -80,6 +80,53 @@ class MeasureProvider {
   // count(b ⊨ ϕ[XY]) for the current ϕ[X] and the given ϕ[Y].
   virtual std::uint64_t CountXY(const Levels& rhs) = 0;
 
+  // ---- Concurrency extensions (DESIGN.md §12) ----
+
+  // Thread-private clone for across-LHS parallel determination: shares
+  // the (immutable) counting structures with `this` but owns its LHS
+  // state and stats. Valid only while the parent is alive and not
+  // mutated. nullptr = cloning unsupported; callers fall back to the
+  // sequential path. Clones start with zeroed stats; merge them back
+  // deterministically with AddStats.
+  virtual std::unique_ptr<MeasureProvider> CloneForThread() const {
+    return nullptr;
+  }
+
+  // True when CountXYConcurrent() may be called from several threads at
+  // once (against one fixed ϕ[X]).
+  virtual bool SupportsConcurrentCountXY() const { return false; }
+
+  // Stats-free const counting against the current ϕ[X], used by the
+  // speculative window in parallel PA/PAP (core/pa.cc). Must return
+  // exactly what CountXY would. Callers account the committed subset of
+  // these calls via AccountCommittedXY so ProviderStats equal the
+  // sequential run's. Only valid when SupportsConcurrentCountXY().
+  virtual std::uint64_t CountXYConcurrent(const Levels& rhs) const {
+    (void)rhs;
+    return 0;
+  }
+
+  // Matching tuples one CountXY call touches right now (0 for the grid
+  // providers BY CONTRACT — see ProviderStats::rows_scanned). Used both
+  // to replay rows_scanned for committed speculative work and as the
+  // cost signal deciding whether within-LHS parallelism pays off.
+  virtual std::uint64_t RowsPerCountXY() const { return 0; }
+
+  // Accounts `calls` committed speculative evaluations exactly as if
+  // CountXY had been called `calls` times.
+  void AccountCommittedXY(std::uint64_t calls) {
+    stats_.xy_evaluations += calls;
+    stats_.rows_scanned += calls * RowsPerCountXY();
+  }
+
+  // Merges a clone's accumulated stats (field-wise sums, so the merge
+  // total is independent of merge order).
+  void AddStats(const ProviderStats& other) {
+    stats_.lhs_evaluations += other.lhs_evaluations;
+    stats_.xy_evaluations += other.xy_evaluations;
+    stats_.rows_scanned += other.rows_scanned;
+  }
+
   // Stats contract (shared with DaStats/PaStats, see da.h / pa.h):
   // stats ACCUMULATE across every SetLhs/CountXY call for the provider's
   // lifetime and are never reset implicitly. Callers that want a
@@ -114,6 +161,13 @@ class ScanMeasureProvider : public MeasureProvider {
   const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
+  std::unique_ptr<MeasureProvider> CloneForThread() const override;
+  bool SupportsConcurrentCountXY() const override { return true; }
+  std::uint64_t CountXYConcurrent(const Levels& rhs) const override;
+  std::uint64_t RowsPerCountXY() const override {
+    return full_scan_ ? matching_.num_tuples() : lhs_rows_.size();
+  }
+
  private:
   const MatchingRelation& matching_;
   ResolvedRule rule_;
@@ -139,18 +193,27 @@ class GridMeasureProvider : public MeasureProvider {
   const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
+  // The grids are shared (immutable after Create), so a clone is a few
+  // scalars — across-LHS parallel determination clones freely.
+  std::unique_ptr<MeasureProvider> CloneForThread() const override;
+  bool SupportsConcurrentCountXY() const override { return true; }
+  std::uint64_t CountXYConcurrent(const Levels& rhs) const override;
+
  private:
   GridMeasureProvider() = default;
+
+  std::size_t JointIndex(const Levels& rhs) const;
 
   std::uint64_t total_ = 0;
   int dmax_ = 0;
   std::size_t lhs_dims_ = 0;
   std::size_t rhs_dims_ = 0;
   // Joint cumulative grid over (lhs..., rhs...) levels: cell ϕ holds
-  // count(b[A] <= ϕ[A] for all A). lhs dims are low-order.
-  std::vector<std::uint64_t> joint_;
-  // Marginal cumulative grid over lhs levels only.
-  std::vector<std::uint64_t> lhs_grid_;
+  // count(b[A] <= ϕ[A] for all A). lhs dims are low-order. Immutable
+  // after Create and shared with clones.
+  std::shared_ptr<const std::vector<std::uint64_t>> joint_;
+  // Marginal cumulative grid over lhs levels only (also shared).
+  std::shared_ptr<const std::vector<std::uint64_t>> lhs_grid_;
   Levels current_lhs_;
   std::uint64_t lhs_count_ = 0;
 };

@@ -142,4 +142,34 @@ std::uint64_t ScanMeasureProvider::CountXY(const Levels& rhs) {
   return total_count;
 }
 
+std::uint64_t ScanMeasureProvider::CountXYConcurrent(const Levels& rhs) const {
+  // One single-threaded pass: callers (the speculative window in
+  // core/pa.cc) run many of these concurrently, so the parallelism
+  // lives outside. No stats, no histogram — committed work is accounted
+  // afterwards via AccountCommittedXY.
+  DD_CHECK_EQ(rhs.size(), rule_.rhs.size());
+  std::uint64_t count = 0;
+  if (full_scan_) {
+    const std::size_t m = matching_.num_tuples();
+    for (std::size_t row = 0; row < m; ++row) {
+      if (Satisfies(matching_, rule_.lhs, current_lhs_, row) &&
+          Satisfies(matching_, rule_.rhs, rhs, row)) {
+        ++count;
+      }
+    }
+    return count;
+  }
+  for (const std::uint32_t row : lhs_rows_) {
+    if (Satisfies(matching_, rule_.rhs, rhs, row)) ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<MeasureProvider> ScanMeasureProvider::CloneForThread() const {
+  // Clones scan single-threaded: the caller owns the concurrency, and
+  // nested ParallelFor would run inline anyway.
+  return std::unique_ptr<MeasureProvider>(
+      new ScanMeasureProvider(matching_, rule_, full_scan_, /*threads=*/1));
+}
+
 }  // namespace dd

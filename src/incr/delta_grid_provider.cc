@@ -126,10 +126,9 @@ void DeltaGridProvider::SetLhs(const Levels& lhs) {
   lhs_count_ = static_cast<std::uint64_t>(count);
 }
 
-std::uint64_t DeltaGridProvider::CountXY(const Levels& rhs) {
+std::size_t DeltaGridProvider::JointIndex(const Levels& rhs) const {
   DD_CHECK_EQ(rhs.size(), rule_.rhs.size());
   DD_CHECK_EQ(current_lhs_.size(), rule_.lhs.size());
-  ++stats_.xy_evaluations;
   const std::size_t base = static_cast<std::size_t>(dmax_) + 1;
   std::size_t idx = 0;
   for (std::size_t a = rule_.rhs.size(); a-- > 0;) {
@@ -140,9 +139,30 @@ std::uint64_t DeltaGridProvider::CountXY(const Levels& rhs) {
   for (std::size_t a = rule_.lhs.size(); a-- > 0;) {
     idx = idx * base + static_cast<std::size_t>(current_lhs_[a]);
   }
-  const std::int64_t count = joint_[idx];
+  return idx;
+}
+
+std::uint64_t DeltaGridProvider::CountXY(const Levels& rhs) {
+  ++stats_.xy_evaluations;
+  const std::int64_t count = joint_[JointIndex(rhs)];
   DD_CHECK_GE(count, 0);
   return static_cast<std::uint64_t>(count);
+}
+
+std::uint64_t DeltaGridProvider::CountXYConcurrent(const Levels& rhs) const {
+  const std::int64_t count = joint_[JointIndex(rhs)];
+  DD_CHECK_GE(count, 0);
+  return static_cast<std::uint64_t>(count);
+}
+
+std::unique_ptr<MeasureProvider> DeltaGridProvider::CloneForThread() const {
+  auto clone = std::unique_ptr<DeltaGridProvider>(new DeltaGridProvider());
+  clone->total_ = total_;
+  clone->dmax_ = dmax_;
+  clone->rule_ = rule_;
+  clone->joint_ = joint_;
+  clone->lhs_grid_ = lhs_grid_;
+  return clone;
 }
 
 }  // namespace dd

@@ -44,8 +44,18 @@ class DeltaGridProvider : public MeasureProvider {
   const Levels& current_lhs() const override { return current_lhs_; }
   std::uint64_t CountXY(const Levels& rhs) override;
 
+  // Concurrency extensions (DESIGN.md §12). Clones snapshot the grids
+  // (they are (dmax+1)^dims cells — small for practical rules), so an
+  // Apply on the original does not affect in-flight clones.
+  std::unique_ptr<MeasureProvider> CloneForThread() const override;
+  bool SupportsConcurrentCountXY() const override { return true; }
+  std::uint64_t CountXYConcurrent(const Levels& rhs) const override;
+  std::uint64_t RowsPerCountXY() const override { return 0; }
+
  private:
   DeltaGridProvider() = default;
+
+  std::size_t JointIndex(const Levels& rhs) const;
 
   std::uint64_t total_ = 0;
   int dmax_ = 0;

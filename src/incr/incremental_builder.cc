@@ -19,7 +19,6 @@ Result<IncrementalMatchingBuilder> IncrementalMatchingBuilder::Create(
     return Status::InvalidArgument(
         "incremental maintenance needs the full pair set: max_pairs must be 0");
   }
-  if (options.threads == 0) options.threads = 1;
   DD_ASSIGN_OR_RETURN(
       ResolvedMetrics resolved,
       ResolveMatchingMetrics(schema, attributes, options.matching));

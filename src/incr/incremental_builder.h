@@ -32,8 +32,9 @@ struct IncrementalOptions {
   // does not compose with deltas (a sampled M cannot tell which of the
   // N·b affected pairs it would have contained).
   MatchingOptions matching;
-  // ParallelFor width for the per-batch distance computations.
-  std::size_t threads = 1;
+  // ParallelFor width for the per-batch distance computations
+  // (0 = DefaultThreads(), i.e. --threads / DD_THREADS).
+  std::size_t threads = 0;
 };
 
 class IncrementalMatchingBuilder {

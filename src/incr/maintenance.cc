@@ -134,6 +134,7 @@ void MaintenanceEngine::Redetermine(UpdateReason reason,
   da.pa.top_l = top_l;
   da.top_l = top_l;
   da.utility = utility;
+  da.threads = det.threads;
 
   DaStats stats;
   std::vector<DeterminedPattern> patterns;

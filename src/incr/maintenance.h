@@ -36,10 +36,10 @@ namespace dd {
 
 struct MaintenanceOptions {
   IncrementalOptions incremental;
-  // Search configuration. `provider` and `provider_threads` are ignored
-  // — the engine always searches its own delta-maintained grids; top_l
-  // is raised to at least 2 so a runner-up (and thus the utility gap)
-  // exists.
+  // Search configuration. `provider` is ignored — the engine always
+  // searches its own delta-maintained grids; top_l is raised to at
+  // least 2 so a runner-up (and thus the utility gap) exists.
+  // `determine.threads` applies to the search as usual.
   DetermineOptions determine;
   // Re-determine when |Ū_now(ϕ*) − Ū_published(ϕ*)| exceeds
   // drift_fraction · (Ū(ϕ*) − Ū(runner-up)), both measured at

@@ -1,12 +1,15 @@
 #include "matching/builder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "matching/value_cache.h"
 #include "metric/metric.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -16,10 +19,80 @@ namespace dd {
 
 namespace {
 
-// Decodes the k-th pair (0-based) of the row-major upper-triangular
-// enumeration over n items into (i, j) with i < j.
-std::pair<std::uint32_t, std::uint32_t> DecodePair(std::uint64_t k,
-                                                   std::uint64_t n) {
+// Per-attribute cached level source: the precomputed distinct-pair
+// table when it pays off, else interning with the equal-value shortcut,
+// else the raw metric. All three produce identical levels.
+struct AttrLevelSource {
+  AttributeValueIndex index;                    // empty when cache disabled
+  std::unique_ptr<ValuePairLevelTable> table;   // may be null
+  bool interned = false;
+};
+
+class PairLevelSource {
+ public:
+  PairLevelSource(const Relation& relation, const ResolvedMetrics& resolved,
+                  const MatchingOptions& options,
+                  std::uint64_t pairs_to_compute, std::size_t threads)
+      : relation_(relation), resolved_(resolved) {
+    if (!options.value_cache) return;
+    attrs_.resize(resolved.num_attributes());
+    for (std::size_t a = 0; a < attrs_.size(); ++a) {
+      attrs_[a].index = InternColumn(relation, resolved.attr_idx[a]);
+      attrs_[a].interned = true;
+      attrs_[a].table = ValuePairLevelTable::Build(
+          attrs_[a].index, *resolved.metrics[a], resolved.scales[a],
+          resolved.dmax, pairs_to_compute, options.value_cache_max_cells,
+          threads);
+      if (attrs_[a].table != nullptr) {
+        precomputed_distances_ += attrs_[a].table->distances_computed();
+      }
+    }
+  }
+
+  // Levels of pair (i, j); adds the number of metric evaluations it
+  // performed to *metric_calls.
+  void Levels(std::uint32_t i, std::uint32_t j, Level* levels,
+              std::uint64_t* metric_calls) const {
+    for (std::size_t a = 0; a < resolved_.num_attributes(); ++a) {
+      if (a < attrs_.size() && attrs_[a].interned) {
+        const AttrLevelSource& attr = attrs_[a];
+        const std::uint32_t ia = attr.index.row_ids[i];
+        const std::uint32_t ib = attr.index.row_ids[j];
+        if (attr.table != nullptr) {
+          levels[a] = attr.table->LevelOf(ia, ib);
+          continue;
+        }
+        if (ia == ib) {  // d(x, x) = 0, a metric axiom.
+          levels[a] = 0;
+          continue;
+        }
+      }
+      levels[a] = resolved_.ComputeLevel(relation_, i, j, a);
+      ++*metric_calls;
+    }
+  }
+
+  std::uint64_t precomputed_distances() const {
+    return precomputed_distances_;
+  }
+
+  std::size_t tables_built() const {
+    std::size_t n = 0;
+    for (const auto& a : attrs_) n += a.table != nullptr ? 1 : 0;
+    return n;
+  }
+
+ private:
+  const Relation& relation_;
+  const ResolvedMetrics& resolved_;
+  std::vector<AttrLevelSource> attrs_;
+  std::uint64_t precomputed_distances_ = 0;
+};
+
+}  // namespace
+
+std::pair<std::uint32_t, std::uint32_t> DecodeTriangularPair(std::uint64_t k,
+                                                             std::uint64_t n) {
   // Row r holds the n-1-r pairs (r, r+1..n-1), so pairs before row r
   // number r*(n-1) - r*(r-1)/2. Start from the quadratic-formula
   // estimate of the row, then correct by +-1 steps.
@@ -37,8 +110,6 @@ std::pair<std::uint32_t, std::uint32_t> DecodePair(std::uint64_t k,
   return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
 }
 
-}  // namespace
-
 Level BucketDistance(double raw, double scale, int dmax) {
   if (!(raw >= 0.0)) raw = 0.0;  // NaN or negative metrics clamp to 0.
   double scaled = raw * scale;
@@ -51,16 +122,21 @@ Level BucketDistance(double raw, double scale, int dmax) {
   return static_cast<Level>(level);
 }
 
+Level ResolvedMetrics::ComputeLevel(const Relation& relation, std::uint32_t i,
+                                    std::uint32_t j, std::size_t a) const {
+  const std::string& va = relation.at(i, attr_idx[a]);
+  const std::string& vb = relation.at(j, attr_idx[a]);
+  // The cap at which BoundedDistance may stop early: any raw distance
+  // mapping to >= dmax is equivalent, so raw cap = dmax / scale.
+  const double cap = static_cast<double>(dmax) / scales[a];
+  const double raw = metrics[a]->BoundedDistance(va, vb, cap);
+  return BucketDistance(raw, scales[a], dmax);
+}
+
 void ResolvedMetrics::ComputeLevels(const Relation& relation, std::uint32_t i,
                                     std::uint32_t j, Level* levels) const {
   for (std::size_t a = 0; a < attr_idx.size(); ++a) {
-    const std::string& va = relation.at(i, attr_idx[a]);
-    const std::string& vb = relation.at(j, attr_idx[a]);
-    // The cap at which BoundedDistance may stop early: any raw distance
-    // mapping to >= dmax is equivalent, so raw cap = dmax / scale.
-    const double cap = static_cast<double>(dmax) / scales[a];
-    double raw = metrics[a]->BoundedDistance(va, vb, cap);
-    levels[a] = BucketDistance(raw, scales[a], dmax);
+    levels[a] = ComputeLevel(relation, i, j, a);
   }
 }
 
@@ -113,22 +189,44 @@ Result<MatchingRelation> BuildMatchingRelation(
 
   const std::uint64_t n = relation.num_rows();
   const std::uint64_t total_pairs = n * (n - 1) / 2;
+  const std::size_t threads =
+      options.threads == 0 ? DefaultThreads() : options.threads;
   MatchingRelation out(attributes, options.dmax);
 
-  std::vector<Level> levels(attributes.size());
-  if (options.max_pairs == 0 || options.max_pairs >= total_pairs) {
-    out.Reserve(total_pairs);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      for (std::uint32_t j = i + 1; j < n; ++j) {
-        resolved.ComputeLevels(relation, i, j, levels.data());
-        out.AddTuple(i, j, levels);
-      }
-    }
+  const bool full =
+      options.max_pairs == 0 || options.max_pairs >= total_pairs;
+  const std::uint64_t pairs_to_compute =
+      full ? total_pairs : options.max_pairs;
+  const PairLevelSource source(relation, resolved, options, pairs_to_compute,
+                               threads);
+  std::atomic<std::uint64_t> metric_calls{source.precomputed_distances()};
+  const std::size_t num_attrs = attributes.size();
+
+  if (full) {
+    out.ResizeRows(total_pairs);
+    ParallelFor(total_pairs, threads,
+                [&](std::size_t, std::size_t begin, std::size_t end) {
+                  if (begin >= end) return;
+                  std::vector<Level> levels(num_attrs);
+                  std::uint64_t calls = 0;
+                  auto [i, j] = DecodeTriangularPair(begin, n);
+                  for (std::size_t k = begin; k < end; ++k) {
+                    source.Levels(i, j, levels.data(), &calls);
+                    out.SetTuple(k, i, j, levels.data());
+                    if (++j == n) {
+                      ++i;
+                      j = i + 1;
+                    }
+                  }
+                  metric_calls.fetch_add(calls, std::memory_order_relaxed);
+                });
     pairs_counter.Add(total_pairs);
-    distance_counter.Add(total_pairs * attributes.size());
+    distance_counter.Add(metric_calls.load(std::memory_order_relaxed));
     DD_LOG(INFO) << "matching relation built: all " << total_pairs
                  << " pairs over " << n << " rows, " << attributes.size()
-                 << " attribute(s), dmax=" << options.dmax;
+                 << " attribute(s), dmax=" << options.dmax << ", threads="
+                 << threads << ", cached level tables: "
+                 << source.tables_built() << "/" << attributes.size();
     return out;
   }
 
@@ -143,17 +241,25 @@ Result<MatchingRelation> BuildMatchingRelation(
     if (chosen.insert(k).second) ks.push_back(k);
   }
   std::sort(ks.begin(), ks.end());
-  out.Reserve(ks.size());
-  for (std::uint64_t k : ks) {
-    auto [i, j] = DecodePair(k, n);
-    resolved.ComputeLevels(relation, i, j, levels.data());
-    out.AddTuple(i, j, levels);
-  }
+  out.ResizeRows(ks.size());
+  ParallelFor(ks.size(), threads,
+              [&](std::size_t, std::size_t begin, std::size_t end) {
+                std::vector<Level> levels(num_attrs);
+                std::uint64_t calls = 0;
+                for (std::size_t r = begin; r < end; ++r) {
+                  auto [i, j] = DecodeTriangularPair(ks[r], n);
+                  source.Levels(i, j, levels.data(), &calls);
+                  out.SetTuple(r, i, j, levels.data());
+                }
+                metric_calls.fetch_add(calls, std::memory_order_relaxed);
+              });
   pairs_counter.Add(ks.size());
-  distance_counter.Add(ks.size() * attributes.size());
+  distance_counter.Add(metric_calls.load(std::memory_order_relaxed));
   DD_LOG(INFO) << "matching relation built: sampled " << ks.size() << " of "
                << total_pairs << " pairs over " << n << " rows, dmax="
-               << options.dmax;
+               << options.dmax << ", threads=" << threads
+               << ", cached level tables: " << source.tables_built() << "/"
+               << attributes.size();
   return out;
 }
 

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -42,6 +43,22 @@ struct MatchingOptions {
   // directly) and dmax for normalized metrics (so [0,1] spreads over the
   // full domain). Overrides replace the default per attribute.
   std::map<std::string, double> scale_overrides;
+
+  // Concurrency of the pair-distance computation. 0 = DefaultThreads()
+  // (the --threads flag / DD_THREADS env). The produced relation is
+  // bit-identical at any thread count.
+  std::size_t threads = 0;
+
+  // Value-pair distance cache (matching/value_cache.h): intern distinct
+  // attribute values and compute each distinct (value_i, value_j)
+  // distance once. Never changes the produced relation; disable only to
+  // measure the uncached build.
+  bool value_cache = true;
+
+  // Per-attribute cell bound for the precomputed distinct-pair level
+  // table (one byte per cell). Attributes whose table would exceed it
+  // fall back to the equal-value shortcut alone.
+  std::uint64_t value_cache_max_cells = std::uint64_t{1} << 26;
 };
 
 // Metric machinery resolved once per (schema, attributes, options):
@@ -62,6 +79,10 @@ struct ResolvedMetrics {
   // metric's BoundedDistance early-exit at the level-dmax raw cap.
   void ComputeLevels(const Relation& relation, std::uint32_t i,
                      std::uint32_t j, Level* levels) const;
+
+  // Same, for a single attribute (position `a` in attr_idx).
+  Level ComputeLevel(const Relation& relation, std::uint32_t i,
+                     std::uint32_t j, std::size_t a) const;
 };
 
 // Resolves metrics and scales for `attributes` against `schema`. Fails
@@ -79,6 +100,13 @@ Result<MatchingRelation> BuildMatchingRelation(
 
 // Maps one raw distance to a level (exposed for tests and the detector).
 Level BucketDistance(double raw, double scale, int dmax);
+
+// Decodes the k-th pair (0-based) of the row-major upper-triangular
+// enumeration over n items into (i, j) with i < j. The builder chunks
+// the triangular pair range by this global index, so any chunking
+// reproduces the sequential pair order.
+std::pair<std::uint32_t, std::uint32_t> DecodeTriangularPair(std::uint64_t k,
+                                                             std::uint64_t n);
 
 }  // namespace dd
 

@@ -24,6 +24,19 @@ void MatchingRelation::AddTuple(std::uint32_t i, std::uint32_t j,
   pairs_.emplace_back(i, j);
 }
 
+void MatchingRelation::ResizeRows(std::size_t rows) {
+  for (auto& col : columns_) col.resize(rows);
+  pairs_.resize(rows);
+}
+
+void MatchingRelation::SetTuple(std::size_t row, std::uint32_t i,
+                                std::uint32_t j, const Level* levels) {
+  for (std::size_t a = 0; a < columns_.size(); ++a) {
+    columns_[a][row] = levels[a];
+  }
+  pairs_[row] = {i, j};
+}
+
 void MatchingRelation::Reserve(std::size_t rows) {
   for (auto& col : columns_) col.reserve(rows);
   pairs_.reserve(rows);

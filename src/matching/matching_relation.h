@@ -61,6 +61,14 @@ class MatchingRelation {
   void AddTuple(std::uint32_t i, std::uint32_t j,
                 const std::vector<Level>& levels);
 
+  // Direct-write construction for parallel builders: size the relation
+  // once, then fill disjoint row ranges concurrently with SetTuple.
+  // Writing row k with the k-th pair of the enumeration reproduces the
+  // sequential AddTuple layout exactly, whatever the chunking.
+  void ResizeRows(std::size_t rows);
+  void SetTuple(std::size_t row, std::uint32_t i, std::uint32_t j,
+                const Level* levels);
+
   // Level vector of matching tuple `row` across all attributes (a
   // gather over the columnar storage; delta capture, not a hot path).
   std::vector<Level> RowLevels(std::size_t row) const;

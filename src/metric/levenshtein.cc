@@ -1,3 +1,5 @@
+#include "metric/levenshtein.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <limits>
@@ -7,17 +9,20 @@
 
 namespace dd {
 
-double LevenshteinMetric::Distance(std::string_view a,
-                                   std::string_view b) const {
-  if (a == b) return 0.0;
-  if (a.empty()) return static_cast<double>(b.size());
-  if (b.empty()) return static_cast<double>(a.size());
-  // Two-row dynamic program; keep the shorter string as the row to bound
-  // memory by min(|a|, |b|) + 1.
+namespace lev {
+
+std::size_t ReferenceDp(std::string_view a, std::string_view b) {
+  if (a == b) return 0;
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Keep the shorter string as the row to bound memory by
+  // min(|a|, |b|) + 1.
   if (a.size() < b.size()) std::swap(a, b);
   std::vector<std::uint32_t> prev(b.size() + 1);
   std::vector<std::uint32_t> cur(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = static_cast<std::uint32_t>(j);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    prev[j] = static_cast<std::uint32_t>(j);
+  }
   for (std::size_t i = 1; i <= a.size(); ++i) {
     cur[0] = static_cast<std::uint32_t>(i);
     for (std::size_t j = 1; j <= b.size(); ++j) {
@@ -26,31 +31,60 @@ double LevenshteinMetric::Distance(std::string_view a,
     }
     std::swap(prev, cur);
   }
-  return static_cast<double>(prev[b.size()]);
+  return prev[b.size()];
 }
 
-double LevenshteinMetric::BoundedDistance(std::string_view a,
-                                          std::string_view b,
-                                          double cap) const {
-  if (cap < 0.0) cap = 0.0;
-  const auto capped = static_cast<std::size_t>(cap);
-  if (a == b) return 0.0;
+std::size_t Myers64(std::string_view a, std::string_view b) {
+  // Pattern = the shorter string (must fit one 64-bit word of column
+  // deltas), text = the longer one.
+  if (a.size() > b.size()) std::swap(a, b);
+  const std::size_t m = a.size();
+  if (m == 0) return b.size();
+  std::uint64_t peq[256] = {0};
+  for (std::size_t i = 0; i < m; ++i) {
+    peq[static_cast<unsigned char>(a[i])] |= std::uint64_t{1} << i;
+  }
+  std::uint64_t vp =
+      m == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << m) - 1;
+  std::uint64_t vn = 0;
+  const std::uint64_t last = std::uint64_t{1} << (m - 1);
+  std::size_t score = m;
+  for (const char c : b) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(c)];
+    const std::uint64_t d0 = (((eq & vp) + vp) ^ vp) | eq | vn;
+    std::uint64_t hp = vn | ~(d0 | vp);
+    std::uint64_t hn = d0 & vp;
+    if (hp & last) {
+      ++score;
+    } else if (hn & last) {
+      --score;
+    }
+    hp = (hp << 1) | 1;
+    hn <<= 1;
+    vp = hn | ~(d0 | hp);
+    vn = d0 & hp;
+  }
+  return score;
+}
+
+std::size_t Banded(std::string_view a, std::string_view b, std::size_t cap) {
+  if (a == b) return 0;
   if (a.size() < b.size()) std::swap(a, b);
   // Length difference is a lower bound on the edit distance.
-  if (a.size() - b.size() > capped) return cap + 1.0;
-  if (b.empty()) return static_cast<double>(a.size());
+  if (a.size() - b.size() > cap) return cap + 1;
+  if (b.empty()) return a.size();
 
-  // Banded DP: only cells with |i - j| <= capped can be <= cap.
+  // Banded DP: only cells with |i - j| <= cap can be <= cap.
   constexpr std::uint32_t kBig = std::numeric_limits<std::uint32_t>::max() / 2;
   std::vector<std::uint32_t> prev(b.size() + 1, kBig);
   std::vector<std::uint32_t> cur(b.size() + 1, kBig);
-  for (std::size_t j = 0; j <= std::min(b.size(), capped); ++j) {
+  for (std::size_t j = 0; j <= std::min(b.size(), cap); ++j) {
     prev[j] = static_cast<std::uint32_t>(j);
   }
   for (std::size_t i = 1; i <= a.size(); ++i) {
-    const std::size_t lo = (i > capped) ? i - capped : 1;
-    const std::size_t hi = std::min(b.size(), i + capped);
-    if (lo > hi) return cap + 1.0;
+    const std::size_t lo = (i > cap) ? i - cap : 1;
+    const std::size_t hi = std::min(b.size(), i + cap);
+    if (lo > hi) return cap + 1;
     std::fill(cur.begin(), cur.end(), kBig);
     if (lo == 1) cur[0] = static_cast<std::uint32_t>(i);
     std::uint32_t row_min = cur[0];
@@ -62,10 +96,44 @@ double LevenshteinMetric::BoundedDistance(std::string_view a,
       cur[j] = best;
       row_min = std::min(row_min, best);
     }
-    if (row_min > capped) return cap + 1.0;  // Whole band exceeded the cap.
+    if (row_min > cap) return cap + 1;  // Whole band exceeded the cap.
     std::swap(prev, cur);
   }
   const std::uint32_t d = prev[b.size()];
+  return d > cap ? cap + 1 : static_cast<std::size_t>(d);
+}
+
+}  // namespace lev
+
+double LevenshteinMetric::Distance(std::string_view a,
+                                   std::string_view b) const {
+  if (a == b) return 0.0;
+  if (std::min(a.size(), b.size()) <= 64) {
+    return static_cast<double>(lev::Myers64(a, b));
+  }
+  return static_cast<double>(lev::ReferenceDp(a, b));
+}
+
+double LevenshteinMetric::BoundedDistance(std::string_view a,
+                                          std::string_view b,
+                                          double cap) const {
+  if (cap < 0.0) cap = 0.0;
+  if (a == b) return 0.0;
+  const std::size_t max_len = std::max(a.size(), b.size());
+  // A cap at or above the longer length can never be exceeded — and the
+  // double -> size_t conversion below would be unsafe for huge caps.
+  if (cap >= static_cast<double>(max_len)) return Distance(a, b);
+  const auto capped = static_cast<std::size_t>(cap);  // floor: d <= floor(cap) <=> d <= cap
+  const std::size_t min_len = std::min(a.size(), b.size());
+  if (max_len - min_len > capped) return cap + 1.0;
+  // The bit-parallel kernel is O(max_len) regardless of the cap — when
+  // the shorter side fits a word it beats the O(len·cap) band even for
+  // tiny caps. Returning the exact distance above the cap is allowed by
+  // the BoundedDistance contract.
+  if (min_len <= 64) {
+    return static_cast<double>(lev::Myers64(a, b));
+  }
+  const std::size_t d = lev::Banded(a, b, capped);
   return d > capped ? cap + 1.0 : static_cast<double>(d);
 }
 

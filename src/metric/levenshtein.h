@@ -1,0 +1,40 @@
+// Levenshtein kernels behind LevenshteinMetric, exposed individually so
+// the equivalence tests and microbenchmarks can pit them against each
+// other directly. All kernels operate on bytes: multi-byte (UTF-8)
+// sequences count one unit per byte, which is consistent across kernels
+// and therefore invisible to level bucketing.
+//
+// Kernel selection (metric.cc wiring):
+//  * ReferenceDp — the O(|a|·|b|) two-row dynamic program; the ground
+//    truth the others are tested against.
+//  * Myers64 — the Myers/Hyyrö bit-parallel algorithm; one word of
+//    column deltas per text character, O(max(|a|,|b|)) when the shorter
+//    string fits in a 64-bit word. Exact.
+//  * Banded — diagonal band of half-width `cap`; O(len·cap) and allowed
+//    to stop as soon as the whole band exceeds the cap. Used when the
+//    shorter string is > 64 chars and the caller provided a small cap
+//    (matching/builder.cc caps at dmax/scale).
+
+#ifndef DD_METRIC_LEVENSHTEIN_H_
+#define DD_METRIC_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace dd::lev {
+
+// Reference two-row dynamic program. Exact; O(|a|·|b|) time,
+// O(min(|a|,|b|)) space.
+std::size_t ReferenceDp(std::string_view a, std::string_view b);
+
+// Myers bit-parallel edit distance (Hyyrö's formulation). Exact.
+// Requires min(|a|, |b|) <= 64.
+std::size_t Myers64(std::string_view a, std::string_view b);
+
+// Banded early-exit variant: returns the exact distance whenever it is
+// <= cap, and cap + 1 as soon as the distance provably exceeds cap.
+std::size_t Banded(std::string_view a, std::string_view b, std::size_t cap);
+
+}  // namespace dd::lev
+
+#endif  // DD_METRIC_LEVENSHTEIN_H_

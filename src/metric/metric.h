@@ -30,8 +30,18 @@ class DistanceMetric {
   // Distance between two values.
   virtual double Distance(std::string_view a, std::string_view b) const = 0;
 
-  // Distance, allowed to return any value > `cap` as soon as the true
-  // distance is known to exceed `cap` (enables banded early exit).
+  // Bounded-distance contract:
+  //  * If the true distance d satisfies d <= cap, the return value MUST
+  //    equal Distance(a, b) exactly.
+  //  * Once the true distance exceeds cap, ANY value strictly greater
+  //    than cap may be returned — cap + 1, the exact distance, or
+  //    anything in between. Callers must not interpret magnitudes above
+  //    the cap: matching/builder.cc maps every raw > cap to the same
+  //    saturated level, so the choice of sentinel cannot change a
+  //    matching relation.
+  // This licence is what enables banded early exit (O(len·cap) instead
+  // of O(len²)) and lets exact fast paths (e.g. the bit-parallel
+  // Levenshtein kernel) skip the capping entirely.
   // Default falls back to the exact distance.
   virtual double BoundedDistance(std::string_view a, std::string_view b,
                                  double cap) const {
@@ -44,8 +54,11 @@ class DistanceMetric {
 };
 
 // Levenshtein (unit-cost insert/delete/substitute) edit distance.
-// BoundedDistance uses a diagonal band of width 2*cap+1 and returns
-// cap + 1 as soon as the distance provably exceeds cap.
+// Distance uses the Myers bit-parallel kernel when the shorter string
+// fits a 64-bit word, else the two-row DP. BoundedDistance additionally
+// applies the length-difference lower bound and, for long strings, a
+// diagonal band of width 2*cap+1 that returns cap + 1 as soon as the
+// distance provably exceeds cap (kernels in metric/levenshtein.h).
 class LevenshteinMetric : public DistanceMetric {
  public:
   std::string_view name() const override { return "levenshtein"; }

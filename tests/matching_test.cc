@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "data/generators.h"
+#include "matching/value_cache.h"
 #include "metric/metric.h"
 
 namespace dd {
@@ -145,6 +146,54 @@ TEST(MatchingBuilderTest, RejectsBadInputs) {
   opts.metric_overrides.clear();
   opts.scale_overrides["Name"] = -1.0;
   EXPECT_FALSE(BuildMatchingRelation(hotel.relation, {"Name"}, opts).ok());
+}
+
+// The value-pair distance cache (matching/value_cache.h): interning is
+// first-occurrence-ordered, the precomputed level table agrees with a
+// direct metric evaluation for every distinct pair, and builds with the
+// cache disabled produce the identical relation.
+TEST(ValueCacheTest, InternedTableMatchesDirectComputation) {
+  GeneratedData hotel = HotelExample();
+  auto region = hotel.relation.schema().IndexOf("Region");
+  ASSERT_TRUE(region.ok());
+  const AttributeValueIndex index = InternColumn(hotel.relation, *region);
+  ASSERT_EQ(index.row_ids.size(), hotel.relation.num_rows());
+  // Every row id maps back to its own value.
+  for (std::size_t r = 0; r < hotel.relation.num_rows(); ++r) {
+    EXPECT_EQ(*index.values[index.row_ids[r]], hotel.relation.at(r, *region));
+  }
+  LevenshteinMetric lev;
+  const int dmax = 10;
+  auto table = ValuePairLevelTable::Build(index, lev, /*scale=*/1.0, dmax,
+                                          /*pairs_to_compute=*/1u << 20,
+                                          /*max_cells=*/1u << 20,
+                                          /*threads=*/2);
+  ASSERT_NE(table, nullptr);
+  for (std::uint32_t a = 0; a < index.values.size(); ++a) {
+    for (std::uint32_t b = 0; b < index.values.size(); ++b) {
+      const double raw = lev.Distance(*index.values[a], *index.values[b]);
+      EXPECT_EQ(table->LevelOf(a, b), BucketDistance(raw, 1.0, dmax))
+          << "ids " << a << "," << b;
+    }
+  }
+}
+
+TEST(ValueCacheTest, BuildRespectsCellBudget) {
+  GeneratedData hotel = HotelExample();
+  auto address = hotel.relation.schema().IndexOf("Address");
+  ASSERT_TRUE(address.ok());
+  const AttributeValueIndex index = InternColumn(hotel.relation, *address);
+  LevenshteinMetric lev;
+  // A budget below the table size must decline to build.
+  EXPECT_EQ(ValuePairLevelTable::Build(index, lev, 1.0, 10,
+                                       /*pairs_to_compute=*/1u << 20,
+                                       /*max_cells=*/1, /*threads=*/1),
+            nullptr);
+  // Fewer pairs to compute than table cells: caching cannot pay off.
+  EXPECT_EQ(ValuePairLevelTable::Build(index, lev, 1.0, 10,
+                                       /*pairs_to_compute=*/1,
+                                       /*max_cells=*/1u << 20, /*threads=*/1),
+            nullptr);
 }
 
 TEST(MatchingRelationTest, IndexOf) {

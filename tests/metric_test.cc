@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "metric/levenshtein.h"
 
 namespace dd {
 namespace {
@@ -49,6 +50,110 @@ TEST(LevenshteinTest, BoundedMatchesExactWithinCap) {
       } else {
         EXPECT_GT(bounded, cap) << a << " vs " << b;
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Kernel equivalence (src/metric/levenshtein.h): the Myers bit-parallel
+// kernel and the dmax-banded early-exit kernel must agree with the
+// reference DP on every input where their contracts apply. Exhaustive
+// randomized sweep over lengths 0..200 and every cap band.
+
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t length, int alphabet) {
+  std::string s(length, '\0');
+  for (char& c : s) {
+    // Include non-ASCII bytes: the kernels are byte-based and must not
+    // care about sign or encoding.
+    c = static_cast<char>(rng.NextBounded(static_cast<std::uint64_t>(alphabet)));
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(LevenshteinKernelTest, Myers64MatchesReferenceDp) {
+  Rng rng(71);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Myers' precondition: min(|a|, |b|) <= 64. The longer side may be
+    // anything (test up to 200).
+    const std::size_t la = rng.NextBounded(65);
+    const std::size_t lb = rng.NextBounded(201);
+    const int alphabet = trial % 2 == 0 ? 4 : 256;
+    const std::string a = RandomBytes(rng, la, alphabet);
+    const std::string b = RandomBytes(rng, lb, alphabet);
+    ASSERT_EQ(lev::Myers64(a, b), lev::ReferenceDp(a, b))
+        << "trial " << trial << " |a|=" << la << " |b|=" << lb;
+  }
+}
+
+TEST(LevenshteinKernelTest, BandedMatchesReferenceDpWithinCap) {
+  Rng rng(72);
+  for (int trial = 0; trial < 1200; ++trial) {
+    const std::size_t la = rng.NextBounded(201);
+    const std::size_t lb = rng.NextBounded(201);
+    const int alphabet = trial % 2 == 0 ? 3 : 256;
+    const std::string a = RandomBytes(rng, la, alphabet);
+    const std::string b = RandomBytes(rng, lb, alphabet);
+    const std::size_t exact = lev::ReferenceDp(a, b);
+    for (std::size_t cap : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                            std::size_t{5}, std::size_t{10}, std::size_t{50},
+                            std::size_t{200}, std::size_t{400}}) {
+      const std::size_t banded = lev::Banded(a, b, cap);
+      if (exact <= cap) {
+        ASSERT_EQ(banded, exact) << "cap=" << cap << " trial " << trial;
+      } else {
+        ASSERT_GT(banded, cap) << "cap=" << cap << " trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinKernelTest, EdgeLengths) {
+  // Empty and boundary-length (63/64/65) inputs on every kernel.
+  const std::string empty;
+  const std::string s63(63, 'x');
+  const std::string s64(64, 'x');
+  const std::string s65(65, 'x');
+  EXPECT_EQ(lev::ReferenceDp(empty, empty), 0u);
+  EXPECT_EQ(lev::Myers64(empty, s65), 65u);
+  EXPECT_EQ(lev::Myers64(s63, s64), 1u);
+  EXPECT_EQ(lev::Myers64(s64, s64), 0u);
+  EXPECT_EQ(lev::Banded(s64, s65, 0), 1u);  // > cap sentinel (cap + 1)
+  EXPECT_EQ(lev::Banded(s64, s65, 1), 1u);
+  EXPECT_EQ(lev::Banded(empty, s65, 100), 65u);
+}
+
+// BoundedDistance's dispatch (exact Myers under 64, banded above) is
+// level-exact: every return value buckets to the same dmax level the
+// reference distance would. Full dmax band sweep per pair.
+TEST(LevenshteinKernelTest, BoundedDistanceLevelEquivalent) {
+  LevenshteinMetric metric;
+  Rng rng(73);
+  const int dmax = 10;
+  for (int trial = 0; trial < 600; ++trial) {
+    const std::string a = RandomBytes(rng, rng.NextBounded(201), 5);
+    const std::string b = RandomBytes(rng, rng.NextBounded(201), 5);
+    const double exact = metric.Distance(a, b);
+    for (int cap_level = 0; cap_level <= dmax; ++cap_level) {
+      const double cap = static_cast<double>(cap_level);
+      const double bounded = metric.BoundedDistance(a, b, cap);
+      if (exact <= cap) {
+        ASSERT_EQ(bounded, exact) << "cap=" << cap << " trial " << trial;
+      } else {
+        ASSERT_GT(bounded, cap) << "cap=" << cap << " trial " << trial;
+      }
+    }
+    // Huge and fractional caps exercise the cap >= max_len fast path
+    // and the floor semantics.
+    ASSERT_EQ(metric.BoundedDistance(a, b, 1e9), exact);
+    const double frac = metric.BoundedDistance(a, b, 2.7);
+    if (exact <= 2.0) {
+      ASSERT_EQ(frac, exact);
+    } else {
+      ASSERT_GT(frac, 2.7);
     }
   }
 }

@@ -137,7 +137,7 @@ TEST_P(PaperRuleTest, ParallelScanReproducesSerialAnswers) {
   Workload w = MakeWorkload(GetParam());
   DetermineOptions serial;
   DetermineOptions parallel;
-  parallel.provider_threads = 4;
+  parallel.threads = 4;
   auto a = DetermineThresholds(w.matching, w.rule, serial);
   auto b = DetermineThresholds(w.matching, w.rule, parallel);
   ASSERT_TRUE(a.ok());

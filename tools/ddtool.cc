@@ -32,7 +32,10 @@
 //                    [--trace_json report.json]
 //
 // DD_LOG_LEVEL=info|warn|error|off raises/lowers library logging on
-// stderr (default warn).
+// stderr (default warn). --threads N (any subcommand; DD_THREADS=N
+// equivalently) sets the worker-pool concurrency for the matching
+// build and the determination search — results are bit-identical at
+// any thread count, N=1 forces the sequential paths.
 //   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
 //                    [--dmax 10] [--max-pairs 50000]
 //   ddtool append    --rows new.csv --lhs a,b --rhs c [--input base.csv]
@@ -84,6 +87,7 @@
 #include <vector>
 
 #include "common/flags.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/determiner.h"
 #include "core/result_filter.h"
@@ -909,6 +913,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   dd::ArgParser args(argc, argv, 2);
+  // --threads applies to every subcommand: it sets the process-wide
+  // DefaultThreads() that the matching build, the providers, and the
+  // DA/PA searches inherit (0 restores the DD_THREADS/hardware
+  // default). Results are bit-identical at any value.
+  if (args.Has("threads")) {
+    auto threads = args.GetInt("threads", 0);
+    if (!threads.ok()) return Fail(threads.status());
+    if (*threads < 0) {
+      return Fail(dd::Status::InvalidArgument("--threads must be >= 0"));
+    }
+    dd::SetDefaultThreads(static_cast<std::size_t>(*threads));
+  }
   if (command == "generate") return RunGenerate(args);
   if (command == "determine") return RunDetermine(args);
   if (command == "explain") return RunExplain(args);
