@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "benchmarks/bench_util.h"
+#include "common/parallel.h"
 #include "core/determiner.h"
 #include "obs/explain/recorder.h"
+#include "obs/pool_stats.h"
 #include "obs/export/prometheus.h"
 #include "obs/export/sampler.h"
 #include "obs/log.h"
@@ -167,6 +169,39 @@ void BM_VlogCompiledOut(benchmark::State& state) {
 }
 BENCHMARK(BM_VlogCompiledOut);
 
+// The disabled pool-observer fast path: the one atomic load per
+// ParallelFor invocation (plus a branch per chunk on the snapshotted
+// pointer) that the worker pool pays when pool stats are off. Budget:
+// <= 2 ns — same bar as the EXPLAIN active check below.
+void BM_PoolObserverDisabledCheck(benchmark::State& state) {
+  dd::obs::PoolStatsCollector::Global().Disable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dd::GetPoolObserver());
+  }
+}
+BENCHMARK(BM_PoolObserverDisabledCheck)->Threads(1)->Threads(4);
+
+// Enabled per-chunk recording: two clock reads happen in the pool; here
+// we isolate the collector's seqlock ring append + live counter bumps.
+void BM_PoolStatsOnChunkEnabled(benchmark::State& state) {
+  dd::obs::PoolStatsCollector& collector =
+      dd::obs::PoolStatsCollector::Global();
+  dd::PoolChunkEvent event{};
+  event.phase = "bench_pool";
+  event.invocation = 1;
+  event.chunk = 0;
+  event.begin = 0;
+  event.end = 64;
+  event.start_ns = 1000;
+  event.end_ns = 2000;
+  event.caller = true;
+  for (auto _ : state) {
+    collector.OnChunk(event);
+  }
+  collector.Reset();
+}
+BENCHMARK(BM_PoolStatsOnChunkEnabled);
+
 // The disabled-recorder fast path that every instrumented call site in
 // core/pa.cc pays when EXPLAIN is off: one relaxed load and a branch.
 // This is the "disabled costs nothing" half of the DESIGN.md §11
@@ -261,6 +296,59 @@ int ReportExplainOverhead() {
   return 0;
 }
 
+// The ISSUE acceptance number for the pool-observer hook: per-chunk
+// disabled-path cost, measured as the exact instruction sequence the
+// pool runs when stats are off (observer load + null test). Reported
+// as a BENCH_JSON line with the budget so CI trends it.
+int ReportPoolStatsOverhead() {
+  dd::obs::PoolStatsCollector& collector =
+      dd::obs::PoolStatsCollector::Global();
+  collector.Disable();
+  constexpr std::uint64_t kIters = 1 << 25;
+  std::uint64_t hits = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    if (dd::GetPoolObserver() != nullptr) ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  const double disabled_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      static_cast<double>(kIters);
+
+  collector.Enable();
+  collector.Reset();
+  dd::PoolChunkEvent event{};
+  event.phase = "bench_pool_overhead";
+  event.end = 64;
+  event.end_ns = 1000;
+  constexpr std::uint64_t kEnabledIters = 1 << 20;
+  start = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kEnabledIters; ++i) {
+    event.invocation = i;
+    collector.OnChunk(event);
+  }
+  const double enabled_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      static_cast<double>(kEnabledIters);
+  collector.Disable();
+  collector.Reset();
+
+  std::printf("\npool observer: disabled check %.3f ns (budget 2 ns), "
+              "enabled ring append %.1f ns\n",
+              disabled_ns, enabled_ns);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"micro_obs_pool\", \"iters\": %llu, "
+      "\"disabled_check_ns\": %.3f, \"enabled_record_ns\": %.3f, "
+      "\"budget_ns\": 2.0}\n",
+      static_cast<unsigned long long>(kIters), disabled_ns, enabled_ns);
+  std::fflush(stdout);
+  return disabled_ns <= 2.0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -268,5 +356,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return ReportExplainOverhead();
+  const int explain_rc = ReportExplainOverhead();
+  const int pool_rc = ReportPoolStatsOverhead();
+  return explain_rc != 0 ? explain_rc : pool_rc;
 }

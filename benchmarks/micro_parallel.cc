@@ -4,20 +4,29 @@
 // worker-pool size in the sweep. Every measurement is emitted as
 //   BENCH_JSON {"bench": "micro_parallel", "phase": "...",
 //               "threads": T, "pairs": M, "elapsed_s": W,
-//               "speedup_vs_1": S}
+//               "speedup_vs_1": S, "host_cores": C, "run_id": "..."}
 // where speedup_vs_1 divides the 1-thread wall time of the same phase
 // by this run's (1.0 at T=1; 0 when the sweep skipped T=1). The
 // results at every T are bit-identical by construction — this harness
-// measures wall time only.
+// measures wall time only. host_cores stamps the machine's hardware
+// concurrency so tools/benchcmp can refuse wall-time comparisons
+// across differently-sized hosts (the committed baseline was captured
+// on a 1-core container); run_id (DD_BENCH_RUN_ID, default clock+pid)
+// correlates rows of one capture in BENCH_trajectory.json.
 //
 // Knobs: DD_BENCH_PAIRS (default 20000 matching tuples),
 // DD_BENCH_THREADS (default "1,2,4,8"), --threads N (pool default for
 // the setup work outside the sweep).
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchmarks/bench_util.h"
@@ -52,7 +61,24 @@ double TimeBest(const Fn& fn) {
   return best;
 }
 
+// Correlation id for this capture: DD_BENCH_RUN_ID when set, else
+// wall-clock microseconds + pid (the same scheme as ddtool feeds).
+std::string BenchRunId() {
+  if (const char* env = std::getenv("DD_BENCH_RUN_ID");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  return dd::StrFormat("%011llx-%04x",
+                       static_cast<unsigned long long>(us) & 0xfffffffffffULL,
+                       static_cast<unsigned>(::getpid()) & 0xffff);
+}
+
 void Emit(const std::vector<Row>& rows) {
+  const unsigned host_cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::string run_id = BenchRunId();
   // speedup_vs_1 joins each row against the same phase's 1-thread run.
   for (const Row& row : rows) {
     double base = 0.0;
@@ -67,8 +93,9 @@ void Emit(const std::vector<Row>& rows) {
     std::printf(
         "BENCH_JSON {\"bench\": \"micro_parallel\", \"phase\": \"%s\", "
         "\"threads\": %zu, \"pairs\": %zu, \"elapsed_s\": %.6f, "
-        "\"speedup_vs_1\": %.3f}\n",
-        row.phase.c_str(), row.threads, row.pairs, row.elapsed_s, speedup);
+        "\"speedup_vs_1\": %.3f, \"host_cores\": %u, \"run_id\": \"%s\"}\n",
+        row.phase.c_str(), row.threads, row.pairs, row.elapsed_s, speedup,
+        host_cores, run_id.c_str());
   }
   std::fflush(stdout);
 }

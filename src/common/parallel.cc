@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -47,6 +48,22 @@ thread_local bool t_in_chunk = false;
 // of touching a dead pool. Trivially destructible on purpose.
 std::atomic<bool> g_pool_alive{false};
 
+// Observation hook (SetPoolObserver). Snapshotted once per invocation
+// so a concurrent uninstall cannot split one invocation's events
+// between observers. Trivially destructible on purpose.
+std::atomic<PoolObserver*> g_pool_observer{nullptr};
+
+// Process-wide ParallelFor sequence number; chunk events carry it so
+// the collector can join them back to their invocation.
+std::atomic<std::uint64_t> g_invocation_seq{0};
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 // One ParallelFor invocation in flight on the pool. Workers and the
 // caller claim chunk indices from `next`; the caller blocks until
 // `done` reaches `chunks`.
@@ -55,18 +72,35 @@ struct PoolTask {
   std::size_t count = 0;
   std::size_t per_chunk = 0;
   std::size_t chunks = 0;  // number of non-empty chunks
+  const char* phase = "";
+  std::uint64_t invocation = 0;
+  PoolObserver* observer = nullptr;  // snapshot; null = no recording
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;
   std::condition_variable cv;
 };
 
-void ExecuteChunk(PoolTask& task, std::size_t c) {
+void ExecuteChunk(PoolTask& task, std::size_t c, bool caller) {
   const std::size_t begin = c * task.per_chunk;
   const std::size_t end = std::min(task.count, begin + task.per_chunk);
   const bool was_in_chunk = t_in_chunk;
   t_in_chunk = true;
-  (*task.fn)(c, begin, end);
+  if (task.observer != nullptr) {
+    PoolChunkEvent event;
+    event.phase = task.phase;
+    event.invocation = task.invocation;
+    event.chunk = c;
+    event.begin = begin;
+    event.end = end;
+    event.caller = caller;
+    event.start_ns = NowNs();
+    (*task.fn)(c, begin, end);
+    event.end_ns = NowNs();
+    task.observer->OnChunk(event);
+  } else {
+    (*task.fn)(c, begin, end);
+  }
   t_in_chunk = was_in_chunk;
   if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.chunks) {
     // Synchronize with the caller's wait; the lock pairs the final
@@ -101,7 +135,7 @@ class WorkerPool {
     for (;;) {
       const std::size_t c = task->next.fetch_add(1, std::memory_order_relaxed);
       if (c >= task->chunks) break;
-      ExecuteChunk(*task, c);
+      ExecuteChunk(*task, c, /*caller=*/true);
     }
     std::unique_lock<std::mutex> lock(task->mu);
     task->cv.wait(lock, [&] {
@@ -130,7 +164,7 @@ class WorkerPool {
         continue;
       }
       lock.unlock();
-      ExecuteChunk(*task, c);
+      ExecuteChunk(*task, c, /*caller=*/false);
       lock.lock();
     }
   }
@@ -169,7 +203,15 @@ std::size_t EffectiveChunks(std::size_t count, std::size_t threads) {
 
 bool InParallelChunk() { return t_in_chunk; }
 
-void ParallelFor(std::size_t count, std::size_t threads,
+PoolObserver* SetPoolObserver(PoolObserver* observer) {
+  return g_pool_observer.exchange(observer, std::memory_order_acq_rel);
+}
+
+PoolObserver* GetPoolObserver() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
+
+void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t, std::size_t,
                                           std::size_t)>& fn) {
   if (count == 0) return;
@@ -177,8 +219,40 @@ void ParallelFor(std::size_t count, std::size_t threads,
   std::size_t chunks = EffectiveChunks(count, threads);
   // Nested calls (or calls racing pool shutdown) run inline as one
   // chunk — the outer ParallelFor already owns the concurrency.
-  if (t_in_chunk) chunks = 1;
+  const bool nested = t_in_chunk;
+  if (nested) chunks = 1;
+  // One relaxed-ish load per invocation; everything below branches on
+  // the snapshot, so a disabled observer costs no clock reads. Nested
+  // runs are never recorded — their time is already inside the
+  // enclosing chunk's event.
+  PoolObserver* const observer =
+      nested ? nullptr : g_pool_observer.load(std::memory_order_acquire);
   if (chunks == 1) {
+    if (observer != nullptr) {
+      PoolChunkEvent event;
+      event.phase = phase;
+      event.invocation = g_invocation_seq.fetch_add(1, std::memory_order_relaxed);
+      event.chunk = 0;
+      event.begin = 0;
+      event.end = count;
+      event.caller = true;
+      event.start_ns = NowNs();
+      t_in_chunk = true;
+      fn(0, 0, count);
+      t_in_chunk = false;
+      event.end_ns = NowNs();
+      observer->OnChunk(event);
+      PoolInvocationEvent inv;
+      inv.phase = phase;
+      inv.invocation = event.invocation;
+      inv.count = count;
+      inv.chunks = 1;
+      inv.threads = threads;
+      inv.start_ns = event.start_ns;
+      inv.end_ns = event.end_ns;
+      observer->OnInvocation(inv);
+      return;
+    }
     const bool was_in_chunk = t_in_chunk;
     t_in_chunk = true;
     fn(0, 0, count);
@@ -192,17 +266,44 @@ void ParallelFor(std::size_t count, std::size_t threads,
   // Round the chunk count down to the non-empty ones so completion
   // tracking matches the chunks that actually run.
   task->chunks = (count + task->per_chunk - 1) / task->per_chunk;
+  task->phase = phase;
+  task->observer = observer;
+  const std::uint64_t start_ns = observer != nullptr ? NowNs() : 0;
+  if (observer != nullptr) {
+    task->invocation = g_invocation_seq.fetch_add(1, std::memory_order_relaxed);
+  }
   if (!g_pool_alive.load(std::memory_order_acquire)) {
     // First use starts the pool; a call after static destruction runs
     // the chunks inline instead.
     static std::atomic<bool> ever_started{false};
     if (ever_started.load(std::memory_order_acquire)) {
-      for (std::size_t c = 0; c < task->chunks; ++c) ExecuteChunk(*task, c);
-      return;
+      for (std::size_t c = 0; c < task->chunks; ++c) {
+        ExecuteChunk(*task, c, /*caller=*/true);
+      }
+    } else {
+      ever_started.store(true, std::memory_order_release);
+      Pool().Run(task);
     }
-    ever_started.store(true, std::memory_order_release);
+  } else {
+    Pool().Run(task);
   }
-  Pool().Run(task);
+  if (observer != nullptr) {
+    PoolInvocationEvent inv;
+    inv.phase = phase;
+    inv.invocation = task->invocation;
+    inv.count = count;
+    inv.chunks = task->chunks;
+    inv.threads = threads;
+    inv.start_ns = start_ns;
+    inv.end_ns = NowNs();
+    observer->OnInvocation(inv);
+  }
+}
+
+void ParallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t, std::size_t,
+                                          std::size_t)>& fn) {
+  ParallelFor("", count, threads, fn);
 }
 
 }  // namespace dd

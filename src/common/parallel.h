@@ -23,6 +23,7 @@
 #define DD_COMMON_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace dd {
@@ -46,6 +47,14 @@ void SetDefaultThreads(std::size_t n);
 // The partition depends only on (count, threads) — never on how chunks
 // were interleaved across workers — so deterministic per-chunk merges
 // produce identical results at any concurrency.
+//
+// `phase` labels the invocation for the pool observer (per-worker
+// timelines, parallel-efficiency reports); it must be a string with
+// static storage duration (a literal). The unlabeled overload records
+// under the empty phase.
+void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t chunk, std::size_t begin,
+                                          std::size_t end)>& fn);
 void ParallelFor(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t chunk, std::size_t begin,
                                           std::size_t end)>& fn);
@@ -58,6 +67,65 @@ std::size_t EffectiveChunks(std::size_t count, std::size_t threads);
 // pool worker or the participating caller). Nested ParallelFor calls
 // observe this and run inline.
 bool InParallelChunk();
+
+// ---------------------------------------------------------------------
+// Pool observation hook. dd_common cannot depend on the metrics/trace
+// layer (dd_obs links dd_common), so the pool exposes a raw observer
+// interface instead: the obs layer installs a collector at startup and
+// the pool reports chunk executions and whole invocations to it. With
+// no observer installed the cost is one relaxed atomic load per
+// ParallelFor invocation and one branch per chunk — no clock reads.
+//
+// Timestamps are std::chrono::steady_clock nanoseconds, comparable
+// across threads within the process.
+
+// One executed chunk: [begin, end) of the invocation's range, run on
+// one thread from start_ns to end_ns. `caller` is true when the
+// invoking thread (not a pool worker) executed it.
+struct PoolChunkEvent {
+  const char* phase;          // static-storage label ("" if unlabeled)
+  std::uint64_t invocation;   // process-wide ParallelFor sequence number
+  std::size_t chunk;
+  std::size_t begin;
+  std::size_t end;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  bool caller;
+};
+
+// One completed ParallelFor invocation (reported by the calling thread
+// after every chunk finished). Top-level single-chunk (inline) runs are
+// reported too, so the event stream has the same shape at any thread
+// count; nested-inline calls from inside a chunk are not (their work is
+// already inside the enclosing chunk's event).
+struct PoolInvocationEvent {
+  const char* phase;
+  std::uint64_t invocation;
+  std::size_t count;
+  std::size_t chunks;
+  std::size_t threads;        // resolved request (after DefaultThreads)
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+};
+
+// Implemented by the collector (src/obs/pool_stats.h). Callbacks must
+// be thread-safe and lock-free: OnChunk fires concurrently from pool
+// workers inside the measured region.
+class PoolObserver {
+ public:
+  virtual ~PoolObserver() = default;
+  virtual void OnChunk(const PoolChunkEvent& event) = 0;
+  virtual void OnInvocation(const PoolInvocationEvent& event) = 0;
+};
+
+// Installs `observer` (nullptr uninstalls) and returns the previous
+// one. The observer must outlive every ParallelFor that can see it;
+// invocations in flight during the swap keep reporting to the observer
+// they started with.
+PoolObserver* SetPoolObserver(PoolObserver* observer);
+
+// The currently installed observer (nullptr when observation is off).
+PoolObserver* GetPoolObserver();
 
 }  // namespace dd
 

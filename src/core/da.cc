@@ -107,7 +107,7 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
       clones = MakeClones(*provider, lhs_order.size(), threads);
     }
     if (!clones.empty()) {
-      ParallelFor(lhs_order.size(), threads,
+      ParallelFor("da.lhs_ordering", lhs_order.size(), threads,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                     MeasureProvider* p = clones[chunk].get();
                     for (std::size_t pos = begin; pos < end; ++pos) {
@@ -158,7 +158,7 @@ std::vector<DeterminedPattern> DetermineBestPatterns(MeasureProvider* provider,
         PaStats pa;
       };
       std::vector<LhsOutcome> outcomes(lhs_order.size());
-      ParallelFor(lhs_order.size(), threads,
+      ParallelFor("da.lhs_search", lhs_order.size(), threads,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                     MeasureProvider* p = clones[chunk].get();
                     for (std::size_t pos = begin; pos < end; ++pos) {

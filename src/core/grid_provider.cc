@@ -7,6 +7,7 @@
 #include "core/measure_provider.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace dd {
@@ -58,6 +59,7 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
       std::make_shared<const std::vector<std::uint64_t>>(std::move(lhs_grid));
   obs::MetricsRegistry::Global().GetGauge("provider.grid_cells").Set(
       static_cast<double>(cells));
+  obs::SetMemoryGauge("grid", provider->MemoryUsageBytes());
   DD_LOG(INFO) << "grid provider built: " << cells << " cells over "
                << m << " matching tuples";
   return provider;

@@ -199,6 +199,18 @@ class GridMeasureProvider : public MeasureProvider {
   bool SupportsConcurrentCountXY() const override { return true; }
   std::uint64_t CountXYConcurrent(const Levels& rhs) const override;
 
+  // Heap bytes of the shared cumulative grids. Clones share the same
+  // grids, so sum this once per provider family, not per clone. Feeds
+  // the mem.grid_bytes gauge (obs/resource.h).
+  std::size_t MemoryUsageBytes() const {
+    std::size_t bytes = 0;
+    if (joint_ != nullptr) bytes += joint_->capacity() * sizeof(std::uint64_t);
+    if (lhs_grid_ != nullptr) {
+      bytes += lhs_grid_->capacity() * sizeof(std::uint64_t);
+    }
+    return bytes;
+  }
+
  private:
   GridMeasureProvider() = default;
 

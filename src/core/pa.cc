@@ -130,7 +130,7 @@ std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
     // Algorithm 1 (PA), speculative-free: every candidate is evaluated
     // regardless, so all xy-counts can be computed up front.
     std::vector<std::uint64_t> xy(order.size());
-    ParallelFor(order.size(), threads,
+    ParallelFor("pa.xy_counts", order.size(), threads,
                 [&](std::size_t, std::size_t begin, std::size_t end) {
                   for (std::size_t p = begin; p < end; ++p) {
                     xy[p] = provider->CountXYConcurrent(
@@ -174,7 +174,7 @@ std::vector<RhsCandidate> FindBestRhs(MeasureProvider* provider,
       }
       if (win.empty()) break;
       xy.assign(win.size(), 0);
-      ParallelFor(win.size(), threads,
+      ParallelFor("pap.speculate", win.size(), threads,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t t = begin; t < end; ++t) {
                       xy[t] = provider->CountXYConcurrent(

@@ -59,8 +59,8 @@ void ScanMeasureProvider::SetLhs(const Levels& lhs) {
   const std::size_t chunks = EffectiveChunks(m, threads_);
   std::vector<std::uint64_t> counts(chunks, 0);
   std::vector<std::vector<std::uint32_t>> rows(full_scan_ ? 0 : chunks);
-  ParallelFor(m, threads_, [&](std::size_t chunk, std::size_t begin,
-                               std::size_t end) {
+  ParallelFor("provider.scan_lhs", m, threads_,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     std::uint64_t count = 0;
     for (std::size_t row = begin; row < end; ++row) {
       if (Satisfies(matching_, rule_.lhs, lhs, row)) {
@@ -108,8 +108,8 @@ std::uint64_t ScanMeasureProvider::CountXY(const Levels& rhs) {
     Stopwatch scan_timer;
     const std::size_t chunks = EffectiveChunks(m, threads_);
     std::vector<std::uint64_t> counts(chunks, 0);
-    ParallelFor(m, threads_, [&](std::size_t chunk, std::size_t begin,
-                                 std::size_t end) {
+    ParallelFor("provider.scan_xy_full", m, threads_,
+                [&](std::size_t chunk, std::size_t begin, std::size_t end) {
       std::uint64_t count = 0;
       for (std::size_t row = begin; row < end; ++row) {
         if (Satisfies(matching_, rule_.lhs, current_lhs_, row) &&
@@ -129,8 +129,8 @@ std::uint64_t ScanMeasureProvider::CountXY(const Levels& rhs) {
   const std::size_t n = lhs_rows_.size();
   const std::size_t chunks = EffectiveChunks(n, threads_);
   std::vector<std::uint64_t> counts(chunks, 0);
-  ParallelFor(n, threads_, [&](std::size_t chunk, std::size_t begin,
-                               std::size_t end) {
+  ParallelFor("provider.scan_xy_subset", n, threads_,
+              [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     std::uint64_t count = 0;
     for (std::size_t i = begin; i < end; ++i) {
       if (Satisfies(matching_, rule_.rhs, rhs, lhs_rows_[i])) ++count;

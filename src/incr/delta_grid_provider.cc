@@ -6,6 +6,7 @@
 #include "core/grid_util.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace dd {
@@ -63,6 +64,7 @@ Result<std::unique_ptr<DeltaGridProvider>> DeltaGridProvider::Create(
                          base);
   DD_LOG(INFO) << "delta grid provider built: " << cells << " cells over "
                << m << " matching tuples";
+  obs::SetMemoryGauge("delta_grid", provider->MemoryUsageBytes());
   return provider;
 }
 

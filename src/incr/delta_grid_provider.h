@@ -52,6 +52,14 @@ class DeltaGridProvider : public MeasureProvider {
   std::uint64_t CountXYConcurrent(const Levels& rhs) const override;
   std::uint64_t RowsPerCountXY() const override { return 0; }
 
+  // Heap bytes of the maintained grids plus the per-Apply scratch
+  // histograms. Feeds the mem.delta_grid_bytes gauge (obs/resource.h).
+  std::size_t MemoryUsageBytes() const {
+    return (joint_.capacity() + lhs_grid_.capacity() +
+            scratch_joint_.capacity() + scratch_lhs_.capacity()) *
+           sizeof(std::int64_t);
+  }
+
  private:
   DeltaGridProvider() = default;
 

@@ -115,7 +115,7 @@ Result<MatchingDelta> IncrementalMatchingBuilder::ApplyBatch(
   DD_CHECK_EQ(delta.added_pairs.size(), total_new);
 
   delta.added_levels.resize(total_new * attrs);
-  ParallelFor(total_new, options_.threads,
+  ParallelFor("incr.delta_levels", total_new, options_.threads,
               [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
                 for (std::size_t p = begin; p < end; ++p) {
                   resolved_.ComputeLevels(store_.relation(),

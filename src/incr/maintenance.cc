@@ -8,6 +8,7 @@
 #include "core/measures.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace dd {
@@ -72,6 +73,11 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
   batch_gauge.Set(static_cast<double>(outcome.batch_seq));
   live_gauge.Set(static_cast<double>(builder_->store().num_live()));
   matching_gauge.Set(static_cast<double>(builder_->matching().num_tuples()));
+  // Byte-size accounting after every batch: the evolving structures are
+  // exactly the ones a long-running `serve` loop can grow without bound.
+  obs::SetMemoryGauge("tuple_store", builder_->store().MemoryUsageBytes());
+  obs::SetMemoryGauge("matching", builder_->matching().MemoryUsageBytes());
+  obs::SetMemoryGauge("delta_grid", provider_->MemoryUsageBytes());
 
   // An empty instance has no candidate worth publishing; a previously
   // published pattern stays on the feed until data returns.

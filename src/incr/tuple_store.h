@@ -52,6 +52,23 @@ class TupleStore {
   // is what metric evaluation reads (ResolvedMetrics::ComputeLevels).
   const Relation& relation() const { return relation_; }
 
+  // Approximate heap bytes of the stored tuples (string capacities plus
+  // per-row vector overhead) and the live bitmap. An O(rows × attrs)
+  // walk — call after batch boundaries, not per tuple. Feeds the
+  // mem.tuple_store_bytes gauge (obs/resource.h).
+  std::size_t MemoryUsageBytes() const {
+    std::size_t bytes = live_.capacity() / 8;
+    for (std::uint32_t id = 0; id < next_id(); ++id) {
+      const std::vector<std::string>& values = relation_.row(id);
+      bytes += values.capacity() * sizeof(std::string);
+      for (const std::string& value : values) {
+        // Small strings live inline in the string object counted above.
+        if (value.capacity() > sizeof(std::string)) bytes += value.capacity();
+      }
+    }
+    return bytes;
+  }
+
  private:
   Relation relation_;
   std::vector<bool> live_;

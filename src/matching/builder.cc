@@ -13,6 +13,7 @@
 #include "metric/metric.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 
 namespace dd {
@@ -80,6 +81,15 @@ class PairLevelSource {
     std::size_t n = 0;
     for (const auto& a : attrs_) n += a.table != nullptr ? 1 : 0;
     return n;
+  }
+
+  // Heap bytes across the per-attribute level tables (mem.value_cache).
+  std::size_t cache_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& a : attrs_) {
+      if (a.table != nullptr) bytes += a.table->MemoryUsageBytes();
+    }
+    return bytes;
   }
 
  private:
@@ -204,7 +214,7 @@ Result<MatchingRelation> BuildMatchingRelation(
 
   if (full) {
     out.ResizeRows(total_pairs);
-    ParallelFor(total_pairs, threads,
+    ParallelFor("matching_build.pairs", total_pairs, threads,
                 [&](std::size_t, std::size_t begin, std::size_t end) {
                   if (begin >= end) return;
                   std::vector<Level> levels(num_attrs);
@@ -227,6 +237,8 @@ Result<MatchingRelation> BuildMatchingRelation(
                  << " attribute(s), dmax=" << options.dmax << ", threads="
                  << threads << ", cached level tables: "
                  << source.tables_built() << "/" << attributes.size();
+    obs::SetMemoryGauge("matching", out.MemoryUsageBytes());
+    obs::SetMemoryGauge("value_cache", source.cache_bytes());
     return out;
   }
 
@@ -242,7 +254,7 @@ Result<MatchingRelation> BuildMatchingRelation(
   }
   std::sort(ks.begin(), ks.end());
   out.ResizeRows(ks.size());
-  ParallelFor(ks.size(), threads,
+  ParallelFor("matching_build.sampled", ks.size(), threads,
               [&](std::size_t, std::size_t begin, std::size_t end) {
                 std::vector<Level> levels(num_attrs);
                 std::uint64_t calls = 0;
@@ -260,6 +272,8 @@ Result<MatchingRelation> BuildMatchingRelation(
                << options.dmax << ", threads=" << threads
                << ", cached level tables: " << source.tables_built() << "/"
                << attributes.size();
+  obs::SetMemoryGauge("matching", out.MemoryUsageBytes());
+  obs::SetMemoryGauge("value_cache", source.cache_bytes());
   return out;
 }
 

@@ -86,6 +86,18 @@ class MatchingRelation {
 
   void Reserve(std::size_t rows);
 
+  // Heap bytes held by the columnar storage and the pair list (capacity,
+  // not size — what the allocator actually charged us). Feeds the
+  // mem.matching_bytes gauge (obs/resource.h).
+  std::size_t MemoryUsageBytes() const {
+    std::size_t bytes = 0;
+    for (const auto& column : columns_) {
+      bytes += column.capacity() * sizeof(Level);
+    }
+    bytes += pairs_.capacity() * sizeof(pairs_[0]);
+    return bytes;
+  }
+
  private:
   std::vector<std::string> attribute_names_;
   int dmax_;

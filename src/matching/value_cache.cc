@@ -40,7 +40,7 @@ std::unique_ptr<ValuePairLevelTable> ValuePairLevelTable::Build(
   const double cap = static_cast<double>(dmax) / scale;
   Level* out = table->table_.data();
   const std::vector<const std::string*>& values = index.values;
-  ParallelFor(cells, threads,
+  ParallelFor("value_cache.build", cells, threads,
               [&](std::size_t, std::size_t begin, std::size_t end) {
                 auto [i, j] = DecodeTriangularPair(begin, d);
                 for (std::size_t k = begin; k < end; ++k) {

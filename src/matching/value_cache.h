@@ -66,6 +66,12 @@ class ValuePairLevelTable {
   // Number of metric evaluations the precomputation performed.
   std::uint64_t distances_computed() const { return table_.size(); }
 
+  // Heap bytes of the triangular level table (one byte per cell).
+  // Feeds the mem.value_cache_bytes gauge (obs/resource.h).
+  std::size_t MemoryUsageBytes() const {
+    return table_.capacity() * sizeof(Level);
+  }
+
  private:
   ValuePairLevelTable(std::uint64_t distinct) : d_(distinct) {}
 

@@ -1,6 +1,8 @@
 #include "obs/export/chrome_trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 
 #include "common/string_util.h"
 #include "obs/json_util.h"
@@ -10,6 +12,10 @@ namespace dd::obs {
 namespace {
 
 constexpr int kPid = 1;
+
+// Worker-slot tracks live far above the per-root synthetic tracks so
+// the two tid ranges can never collide.
+constexpr int kWorkerTidBase = 1000;
 
 void AppendEvent(const SpanStats& span, int tid, double ts_us, bool* first,
                  std::string* out) {
@@ -59,18 +65,81 @@ std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace) {
   return out;
 }
 
-Status WriteChromeTrace(const TraceSnapshot& trace, const std::string& path) {
+std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace,
+                                       const PoolStatsSnapshot& pool) {
+  if (pool.empty() || pool.timeline.empty()) {
+    return TraceSnapshotToChromeTrace(trace);
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  AppendMetadata("process_name", 0, "ddthreshold", &first, &out);
+  for (std::size_t r = 0; r < trace.roots.size(); ++r) {
+    const int tid = static_cast<int>(r) + 1;
+    AppendMetadata("thread_name", tid, trace.roots[r].name, &first, &out);
+    AppendEvent(trace.roots[r], tid, /*ts_us=*/0.0, &first, &out);
+  }
+  // Real per-worker tracks: chunk events at measured timestamps,
+  // rebased so the earliest chunk starts at t=0. The slot that acted
+  // as a ParallelFor caller is labeled as such — caller participation
+  // is visible as gaps between its chunks (it was claiming / waiting).
+  std::uint64_t t0 = pool.timeline.front().start_ns;
+  for (const PoolChunkRecord& record : pool.timeline) {
+    t0 = std::min(t0, record.start_ns);
+  }
+  std::map<int, bool> slot_was_caller;
+  for (const PoolChunkRecord& record : pool.timeline) {
+    slot_was_caller[record.slot] =
+        slot_was_caller[record.slot] || record.caller;
+  }
+  for (const auto& [slot, was_caller] : slot_was_caller) {
+    const std::string label =
+        was_caller ? StrFormat("pool slot %d (caller)", slot)
+                   : StrFormat("pool slot %d (worker)", slot);
+    AppendMetadata("thread_name", kWorkerTidBase + slot, label, &first, &out);
+  }
+  for (const PoolChunkRecord& record : pool.timeline) {
+    if (!first) out += ",";
+    first = false;
+    const char* name = record.phase.empty() ? "parallel_for" : record.phase.c_str();
+    out += StrFormat(
+        "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"invocation\":%llu,"
+        "\"chunk\":%zu,\"begin\":%zu,\"end\":%zu,\"caller\":%s}}",
+        JsonEscape(name).c_str(), kPid, kWorkerTidBase + record.slot,
+        static_cast<double>(record.start_ns - t0) * 1e-3,
+        static_cast<double>(record.end_ns - record.start_ns) * 1e-3,
+        static_cast<unsigned long long>(record.invocation), record.chunk,
+        record.begin, record.end, record.caller ? "true" : "false");
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
     return Status::IoError("cannot open " + path + " for writing");
   }
-  const std::string json = TraceSnapshotToChromeTrace(trace);
   const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
   const bool newline = std::fputc('\n', file) != EOF;
   if (std::fclose(file) != 0 || written != json.size() || !newline) {
     return Status::IoError("short write to " + path);
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteChromeTrace(const TraceSnapshot& trace, const std::string& path) {
+  return WriteJsonFile(TraceSnapshotToChromeTrace(trace), path);
+}
+
+Status WriteChromeTrace(const TraceSnapshot& trace,
+                        const PoolStatsSnapshot& pool,
+                        const std::string& path) {
+  return WriteJsonFile(TraceSnapshotToChromeTrace(trace, pool), path);
 }
 
 }  // namespace dd::obs

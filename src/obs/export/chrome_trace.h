@@ -9,6 +9,14 @@
 // common/parallel.h surface as roots, so parallel phases land on
 // separate tracks. The aggregated call count and self time ride along
 // in the event's args.
+//
+// When a pool-stats snapshot (obs/pool_stats.h) is supplied, pooled
+// phases additionally get REAL per-worker tracks: one tid per pool
+// thread slot, one event per executed chunk at its measured steady-
+// clock timestamps. These replace the synthesized one-track-per-root
+// view as the source of truth for pooled work — the span tracks keep
+// the aggregate totals, the worker tracks show who actually ran what,
+// when, and how the chunks interleaved.
 
 #ifndef DD_OBS_EXPORT_CHROME_TRACE_H_
 #define DD_OBS_EXPORT_CHROME_TRACE_H_
@@ -16,6 +24,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/pool_stats.h"
 #include "obs/trace.h"
 
 namespace dd::obs {
@@ -23,8 +32,18 @@ namespace dd::obs {
 // Renders the snapshot as a complete Chrome trace JSON document.
 std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace);
 
+// As above, plus one real track per pool worker slot built from the
+// chunk timeline (no-op when `pool` is empty).
+std::string TraceSnapshotToChromeTrace(const TraceSnapshot& trace,
+                                       const PoolStatsSnapshot& pool);
+
 // Writes TraceSnapshotToChromeTrace(trace) into `path` (overwrites).
 Status WriteChromeTrace(const TraceSnapshot& trace, const std::string& path);
+
+// Pool-aware overload of WriteChromeTrace.
+Status WriteChromeTrace(const TraceSnapshot& trace,
+                        const PoolStatsSnapshot& pool,
+                        const std::string& path);
 
 }  // namespace dd::obs
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "obs/export/prometheus.h"
+#include "obs/resource.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -145,6 +146,9 @@ void MetricsHttpServer::HandleConnection(int fd) {
                                                 ? std::string::npos
                                                 : path_end - 4);
     if (path == "/metrics") {
+      // Scrape-time RSS refresh: mem.rss_bytes / mem.rss_peak_bytes are
+      // as fresh as the scrape, wherever the run is between rebuilds.
+      UpdateRssGauges();
       response = HttpResponse(
           "200 OK",
           MetricsSnapshotToPrometheus(MetricsRegistry::Global().Snapshot()),

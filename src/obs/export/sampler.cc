@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "obs/json_util.h"
 #include "obs/log.h"
+#include "obs/resource.h"
 
 namespace dd::obs {
 
@@ -193,6 +194,9 @@ void MetricsSampler::Loop() {
 }
 
 void MetricsSampler::SampleOnce() {
+  // Refresh the process RSS gauges first so every frame carries a
+  // reading taken at sample time, not at the last structure rebuild.
+  UpdateRssGauges();
   SampleView now = FlattenSnapshot(MetricsRegistry::Global().Snapshot());
   const double t_ms =
       std::chrono::duration<double, std::milli>(

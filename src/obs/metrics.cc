@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 
@@ -37,11 +38,28 @@ std::vector<double> DefaultLatencyBoundsMs() {
 
 double HistogramPercentile(const MetricsSnapshot::HistogramValue& hist,
                            double q) {
+  // An empty histogram has no percentile — NaN, not a fabricated 0,
+  // so callers must decide explicitly how to render "no data".
   if (hist.count == 0 || hist.buckets.empty() || hist.bounds.empty()) {
-    return 0.0;
+    return std::nan("");
   }
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
+  // Single non-empty bucket: every observation shares that bucket, so
+  // every percentile is exactly its upper bound (the overflow bucket
+  // clamps to the last finite bound). Interpolating here would invent
+  // a spread the data does not have.
+  std::size_t non_empty = 0;
+  std::size_t only = 0;
+  for (std::size_t b = 0; b < hist.buckets.size(); ++b) {
+    if (hist.buckets[b] != 0) {
+      ++non_empty;
+      only = b;
+    }
+  }
+  if (non_empty == 1) {
+    return only < hist.bounds.size() ? hist.bounds[only] : hist.bounds.back();
+  }
   const double rank = q * static_cast<double>(hist.count);
   double cumulative = 0.0;
   for (std::size_t b = 0; b < hist.buckets.size(); ++b) {

@@ -105,8 +105,11 @@ struct MetricsSnapshot {
 // i spans (bounds[i-1], bounds[i]], the first bucket starts at 0), so
 // the estimate is exact when the rank lands on a bucket bound.
 // Observations in the overflow bucket are clamped to the last bound —
-// there is no upper edge to interpolate toward. Returns 0 for an
-// empty histogram.
+// there is no upper edge to interpolate toward. Two cases are exact by
+// construction: an empty histogram has no percentile and returns NaN
+// (callers render "no data" explicitly), and a histogram whose
+// observations all fell into one bucket returns that bucket's upper
+// bound without interpolating.
 double HistogramPercentile(const MetricsSnapshot::HistogramValue& hist,
                            double q);
 

@@ -1,0 +1,308 @@
+#include "obs/pool_stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dd::obs {
+
+namespace {
+
+// Per-thread ring capacity. Chunk events on the hot paths are bounded
+// by chunks-per-invocation (≤ threads), so even long determinations
+// stay well under this; overflow is tolerated and counted.
+constexpr std::size_t kRingCapacity = 1 << 14;
+
+// One seqlock-protected ring entry. The owning thread is the only
+// writer; Snapshot() readers validate `seq` (2*index + 2 when entry
+// `index` is published) before and after reading the payload, so a
+// concurrent overwrite is detected and the entry skipped. All payload
+// fields are relaxed atomics purely so cross-thread reads are
+// race-free; ordering comes from `seq`.
+struct EventSlot {
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<const char*> phase{""};
+  std::atomic<std::uint64_t> invocation{0};
+  // Chunk events: a = chunk index, b = begin, c = end.
+  // Invocation events: a = chunks, b = count, c = threads.
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<std::uint64_t> c{0};
+  std::atomic<std::uint64_t> start_ns{0};
+  std::atomic<std::uint64_t> end_ns{0};
+  std::atomic<std::uint32_t> flags{0};  // bit0 caller, bit1 invocation
+};
+
+constexpr std::uint32_t kFlagCaller = 1u;
+constexpr std::uint32_t kFlagInvocation = 2u;
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(int slot_index)
+      : slot(slot_index), ring(kRingCapacity) {}
+
+  const int slot;
+  // Monotonic count of events ever appended; entry i lives at
+  // ring[i % kRingCapacity] until overwritten.
+  std::atomic<std::uint64_t> head{0};
+  // Reset() raises this to `head`; Snapshot reads [base, head) only.
+  std::atomic<std::uint64_t> base{0};
+  std::vector<EventSlot> ring;
+
+  void Append(const char* phase, std::uint64_t invocation, std::uint64_t a,
+              std::uint64_t b, std::uint64_t c, std::uint64_t start_ns,
+              std::uint64_t end_ns, std::uint32_t flags) {
+    const std::uint64_t h = head.load(std::memory_order_relaxed);
+    EventSlot& slot_ref = ring[h % kRingCapacity];
+    slot_ref.seq.store(2 * h + 1, std::memory_order_release);
+    slot_ref.phase.store(phase, std::memory_order_relaxed);
+    slot_ref.invocation.store(invocation, std::memory_order_relaxed);
+    slot_ref.a.store(a, std::memory_order_relaxed);
+    slot_ref.b.store(b, std::memory_order_relaxed);
+    slot_ref.c.store(c, std::memory_order_relaxed);
+    slot_ref.start_ns.store(start_ns, std::memory_order_relaxed);
+    slot_ref.end_ns.store(end_ns, std::memory_order_relaxed);
+    slot_ref.flags.store(flags, std::memory_order_relaxed);
+    slot_ref.seq.store(2 * h + 2, std::memory_order_release);
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+// Registration list: appended on a thread's first recorded event, kept
+// alive for the process so Snapshot() can still read rings of exited
+// workers. The mutex guards registration and the list copy only — the
+// event hot path never takes it.
+std::mutex& RegistryMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+
+std::atomic<int> g_next_slot{0};
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadBuffer>(
+        g_next_slot.fetch_add(1, std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    Buffers().push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>> BufferListCopy() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  return Buffers();
+}
+
+// Raw event as read back out of a ring.
+struct RawEvent {
+  int slot;
+  const char* phase;
+  std::uint64_t invocation;
+  std::uint64_t a, b, c;
+  std::uint64_t start_ns, end_ns;
+  std::uint32_t flags;
+};
+
+}  // namespace
+
+double PoolPhaseStats::SpeedupBound() const {
+  std::uint64_t max_busy = 0;
+  for (const PoolWorkerStats& w : workers) max_busy = std::max(max_busy, w.busy_ns);
+  if (max_busy == 0) return 0.0;
+  return static_cast<double>(busy_ns) / static_cast<double>(max_busy);
+}
+
+double PoolPhaseStats::ImbalancePercent() const {
+  if (workers.empty()) return 0.0;
+  std::uint64_t max_busy = 0;
+  for (const PoolWorkerStats& w : workers) max_busy = std::max(max_busy, w.busy_ns);
+  if (max_busy == 0) return 0.0;
+  const double mean = static_cast<double>(busy_ns) /
+                      static_cast<double>(workers.size());
+  return 100.0 * (static_cast<double>(max_busy) - mean) /
+         static_cast<double>(max_busy);
+}
+
+double PoolPhaseStats::CallerShare() const {
+  if (busy_ns == 0) return 0.0;
+  return static_cast<double>(caller_busy_ns) / static_cast<double>(busy_ns);
+}
+
+PoolStatsCollector& PoolStatsCollector::Global() {
+  static PoolStatsCollector* collector = new PoolStatsCollector();
+  return *collector;
+}
+
+void PoolStatsCollector::Enable() { SetPoolObserver(this); }
+
+void PoolStatsCollector::Disable() {
+  if (GetPoolObserver() == this) SetPoolObserver(nullptr);
+}
+
+bool PoolStatsCollector::enabled() const { return GetPoolObserver() == this; }
+
+void PoolStatsCollector::Reset() {
+  for (const auto& buffer : BufferListCopy()) {
+    buffer->base.store(buffer->head.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  }
+}
+
+void PoolStatsCollector::OnChunk(const PoolChunkEvent& event) {
+  LocalBuffer().Append(event.phase, event.invocation, event.chunk, event.begin,
+                       event.end, event.start_ns, event.end_ns,
+                       event.caller ? kFlagCaller : 0);
+  static Counter& chunks = MetricsRegistry::Global().GetCounter("pool.chunks");
+  static Counter& items = MetricsRegistry::Global().GetCounter("pool.items");
+  static Counter& busy = MetricsRegistry::Global().GetCounter("pool.busy_ns");
+  chunks.Increment();
+  items.Add(event.end - event.begin);
+  busy.Add(event.end_ns - event.start_ns);
+}
+
+void PoolStatsCollector::OnInvocation(const PoolInvocationEvent& event) {
+  LocalBuffer().Append(event.phase, event.invocation, event.chunks,
+                       event.count, event.threads, event.start_ns,
+                       event.end_ns, kFlagInvocation);
+  static Counter& invocations =
+      MetricsRegistry::Global().GetCounter("pool.invocations");
+  static Counter& wall = MetricsRegistry::Global().GetCounter("pool.wall_ns");
+  invocations.Increment();
+  wall.Add(event.end_ns - event.start_ns);
+}
+
+PoolStatsSnapshot PoolStatsCollector::Snapshot() const {
+  PoolStatsSnapshot snapshot;
+  std::vector<RawEvent> chunks;
+  std::vector<RawEvent> invocations;
+  for (const auto& buffer : BufferListCopy()) {
+    const std::uint64_t head = buffer->head.load(std::memory_order_acquire);
+    const std::uint64_t base = buffer->base.load(std::memory_order_acquire);
+    std::uint64_t first = base;
+    if (head > first + kRingCapacity) {
+      snapshot.dropped_events += head - kRingCapacity - first;
+      first = head - kRingCapacity;
+    }
+    for (std::uint64_t i = first; i < head; ++i) {
+      const EventSlot& slot_ref = buffer->ring[i % kRingCapacity];
+      const std::uint64_t want = 2 * i + 2;
+      if (slot_ref.seq.load(std::memory_order_acquire) != want) {
+        ++snapshot.dropped_events;
+        continue;
+      }
+      RawEvent raw;
+      raw.slot = buffer->slot;
+      raw.phase = slot_ref.phase.load(std::memory_order_relaxed);
+      raw.invocation = slot_ref.invocation.load(std::memory_order_relaxed);
+      raw.a = slot_ref.a.load(std::memory_order_relaxed);
+      raw.b = slot_ref.b.load(std::memory_order_relaxed);
+      raw.c = slot_ref.c.load(std::memory_order_relaxed);
+      raw.start_ns = slot_ref.start_ns.load(std::memory_order_relaxed);
+      raw.end_ns = slot_ref.end_ns.load(std::memory_order_relaxed);
+      raw.flags = slot_ref.flags.load(std::memory_order_relaxed);
+      // Re-validate: an overwrite racing the reads above bumps seq.
+      if (slot_ref.seq.load(std::memory_order_acquire) != want) {
+        ++snapshot.dropped_events;
+        continue;
+      }
+      if ((raw.flags & kFlagInvocation) != 0) {
+        invocations.push_back(raw);
+      } else {
+        chunks.push_back(raw);
+      }
+    }
+  }
+
+  // Aggregate per phase / per slot; join chunks to invocations for the
+  // wait computation (wait = invocation wall − this slot's busy time
+  // inside that invocation, for every invocation the slot touched).
+  struct PhaseAgg {
+    PoolPhaseStats stats;
+    std::unordered_map<int, PoolWorkerStats> workers;
+  };
+  std::unordered_map<std::string, PhaseAgg> phases;
+  // invocation id → per-slot busy nanoseconds.
+  std::unordered_map<std::uint64_t, std::unordered_map<int, std::uint64_t>>
+      busy_by_invocation;
+
+  for (const RawEvent& raw : chunks) {
+    PhaseAgg& agg = phases[raw.phase];
+    const std::uint64_t dur =
+        raw.end_ns > raw.start_ns ? raw.end_ns - raw.start_ns : 0;
+    agg.stats.chunks += 1;
+    agg.stats.items += raw.c - raw.b;
+    agg.stats.busy_ns += dur;
+    if ((raw.flags & kFlagCaller) != 0) agg.stats.caller_busy_ns += dur;
+    PoolWorkerStats& worker = agg.workers[raw.slot];
+    worker.slot = raw.slot;
+    worker.caller = worker.caller || (raw.flags & kFlagCaller) != 0;
+    worker.chunks += 1;
+    worker.items += raw.c - raw.b;
+    worker.busy_ns += dur;
+    busy_by_invocation[raw.invocation][raw.slot] += dur;
+
+    PoolChunkRecord record;
+    record.phase = raw.phase;
+    record.invocation = raw.invocation;
+    record.slot = raw.slot;
+    record.caller = (raw.flags & kFlagCaller) != 0;
+    record.chunk = static_cast<std::size_t>(raw.a);
+    record.begin = static_cast<std::size_t>(raw.b);
+    record.end = static_cast<std::size_t>(raw.c);
+    record.start_ns = raw.start_ns;
+    record.end_ns = raw.end_ns;
+    snapshot.timeline.push_back(std::move(record));
+  }
+
+  for (const RawEvent& raw : invocations) {
+    PhaseAgg& agg = phases[raw.phase];
+    const std::uint64_t wall =
+        raw.end_ns > raw.start_ns ? raw.end_ns - raw.start_ns : 0;
+    agg.stats.invocations += 1;
+    agg.stats.wall_ns += wall;
+    const auto found = busy_by_invocation.find(raw.invocation);
+    if (found == busy_by_invocation.end()) continue;
+    for (const auto& [slot, busy] : found->second) {
+      PoolWorkerStats& worker = agg.workers[slot];
+      worker.slot = slot;
+      worker.wait_ns += wall > busy ? wall - busy : 0;
+    }
+  }
+
+  for (auto& [phase, agg] : phases) {
+    agg.stats.phase = phase;
+    agg.stats.workers.reserve(agg.workers.size());
+    for (auto& [slot, worker] : agg.workers) {
+      agg.stats.workers.push_back(worker);
+    }
+    std::sort(agg.stats.workers.begin(), agg.stats.workers.end(),
+              [](const PoolWorkerStats& x, const PoolWorkerStats& y) {
+                return x.slot < y.slot;
+              });
+    snapshot.phases.push_back(std::move(agg.stats));
+  }
+  std::sort(snapshot.phases.begin(), snapshot.phases.end(),
+            [](const PoolPhaseStats& x, const PoolPhaseStats& y) {
+              return x.phase < y.phase;
+            });
+  std::sort(snapshot.timeline.begin(), snapshot.timeline.end(),
+            [](const PoolChunkRecord& x, const PoolChunkRecord& y) {
+              if (x.start_ns != y.start_ns) return x.start_ns < y.start_ns;
+              if (x.invocation != y.invocation) return x.invocation < y.invocation;
+              return x.chunk < y.chunk;
+            });
+  return snapshot;
+}
+
+}  // namespace dd::obs

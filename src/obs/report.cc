@@ -46,6 +46,7 @@ RunReport CaptureRunReport(const std::string& name) {
   report.name = name;
   report.trace = Tracer::Global().Snapshot();
   report.metrics = MetricsRegistry::Global().Snapshot();
+  report.pool = PoolStatsCollector::Global().Snapshot();
   return report;
 }
 
@@ -102,11 +103,58 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
     }
     out += StrFormat("],\"count\":%llu,\"sum\":%.6f",
                      static_cast<unsigned long long>(h.count), h.sum);
-    out += StrFormat(",\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f}",
-                     HistogramPercentile(h, 0.50), HistogramPercentile(h, 0.95),
-                     HistogramPercentile(h, 0.99));
+    // Percentiles of an empty histogram are NaN — not valid JSON — so
+    // the keys are omitted until there is data.
+    if (h.count > 0) {
+      out += StrFormat(",\"p50\":%.6f,\"p95\":%.6f,\"p99\":%.6f",
+                       HistogramPercentile(h, 0.50),
+                       HistogramPercentile(h, 0.95),
+                       HistogramPercentile(h, 0.99));
+    }
+    out += "}";
   }
   out += "}}";
+  return out;
+}
+
+std::string PoolSnapshotToJson(const PoolStatsSnapshot& pool) {
+  std::string out = "{\"phases\":[";
+  for (std::size_t i = 0; i < pool.phases.size(); ++i) {
+    const PoolPhaseStats& phase = pool.phases[i];
+    if (i > 0) out += ",";
+    out += "{\"phase\":\"";
+    out += JsonEscape(phase.phase);
+    out += "\"";
+    out += StrFormat(",\"invocations\":%llu",
+                     static_cast<unsigned long long>(phase.invocations));
+    out += StrFormat(",\"chunks\":%llu",
+                     static_cast<unsigned long long>(phase.chunks));
+    out += StrFormat(",\"items\":%llu",
+                     static_cast<unsigned long long>(phase.items));
+    out += StrFormat(",\"wall_ms\":%.6f",
+                     static_cast<double>(phase.wall_ns) * 1e-6);
+    out += StrFormat(",\"busy_ms\":%.6f",
+                     static_cast<double>(phase.busy_ns) * 1e-6);
+    out += StrFormat(",\"speedup_bound\":%.3f", phase.SpeedupBound());
+    out += StrFormat(",\"imbalance_pct\":%.1f", phase.ImbalancePercent());
+    out += StrFormat(",\"caller_share\":%.3f", phase.CallerShare());
+    out += ",\"workers\":[";
+    for (std::size_t w = 0; w < phase.workers.size(); ++w) {
+      const PoolWorkerStats& worker = phase.workers[w];
+      if (w > 0) out += ",";
+      out += StrFormat(
+          "{\"slot\":%d,\"caller\":%s,\"chunks\":%llu,\"items\":%llu,"
+          "\"busy_ms\":%.6f,\"wait_ms\":%.6f}",
+          worker.slot, worker.caller ? "true" : "false",
+          static_cast<unsigned long long>(worker.chunks),
+          static_cast<unsigned long long>(worker.items),
+          static_cast<double>(worker.busy_ns) * 1e-6,
+          static_cast<double>(worker.wait_ns) * 1e-6);
+    }
+    out += "]}";
+  }
+  out += StrFormat("],\"dropped_events\":%llu}",
+                   static_cast<unsigned long long>(pool.dropped_events));
   return out;
 }
 
@@ -117,6 +165,10 @@ std::string RunReportToJson(const RunReport& report) {
   out += TraceSnapshotToJson(report.trace);
   out += ",\"metrics\":";
   out += MetricsSnapshotToJson(report.metrics);
+  if (!report.pool.empty()) {
+    out += ",\"parallel\":";
+    out += PoolSnapshotToJson(report.pool);
+  }
   out += "}";
   return out;
 }
@@ -161,6 +213,23 @@ std::string RunReportToText(const RunReport& report) {
         h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum,
         h.sum / static_cast<double>(h.count), HistogramPercentile(h, 0.50),
         HistogramPercentile(h, 0.95), HistogramPercentile(h, 0.99));
+  }
+  if (!report.pool.empty()) {
+    out += StrFormat("parallel: %-22s %9s %9s %8s %10s %7s\n", "phase",
+                     "wall", "busy", "speedup", "imbalance", "caller");
+    for (const PoolPhaseStats& phase : report.pool.phases) {
+      out += StrFormat(
+          "  %-30s %7.1fms %7.1fms %7.2fx %9.1f%% %6.1f%%\n",
+          phase.phase.empty() ? "(unlabeled)" : phase.phase.c_str(),
+          static_cast<double>(phase.wall_ns) * 1e-6,
+          static_cast<double>(phase.busy_ns) * 1e-6, phase.SpeedupBound(),
+          phase.ImbalancePercent(), 100.0 * phase.CallerShare());
+    }
+    if (report.pool.dropped_events > 0) {
+      out += StrFormat(
+          "  (%llu events dropped to ring wrap; totals undercount)\n",
+          static_cast<unsigned long long>(report.pool.dropped_events));
+    }
   }
   return out;
 }

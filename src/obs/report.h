@@ -12,7 +12,18 @@
 //                "gauges": {"g": 0.5, ...},
 //                "histograms": {"h": {"buckets": [{"le": 1.0, "count": 2},
 //                                                 {"le": "inf", "count": 0}],
-//                                     "count": 2, "sum": 0.3}, ...}}}
+//                                     "count": 2, "sum": 0.3}, ...}},
+//    "parallel": {"phases": [{"phase": "...", "invocations": N,
+//                             "wall_ms": W, "busy_ms": B,
+//                             "speedup_bound": S, "imbalance_pct": I,
+//                             "caller_share": C,
+//                             "workers": [{"slot": 0, "caller": true,
+//                                          "chunks": n, "items": m,
+//                                          "busy_ms": b, "wait_ms": w},
+//                                         ...]}, ...],
+//                 "dropped_events": 0}}
+// The "parallel" key appears only when the pool-stats collector
+// (obs/pool_stats.h) recorded at least one phase.
 
 #ifndef DD_OBS_REPORT_H_
 #define DD_OBS_REPORT_H_
@@ -21,6 +32,7 @@
 
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/pool_stats.h"
 #include "obs/trace.h"
 
 namespace dd::obs {
@@ -30,14 +42,19 @@ struct RunReport {
   std::string name;
   TraceSnapshot trace;
   MetricsSnapshot metrics;
+  // Worker-pool execution stats; empty when the collector was off.
+  PoolStatsSnapshot pool;
 };
 
-// Captures the current global tracer + metrics registry state.
+// Captures the current global tracer + metrics registry + pool-stats
+// collector state.
 RunReport CaptureRunReport(const std::string& name);
 
 std::string SpanStatsToJson(const SpanStats& span);
 std::string TraceSnapshotToJson(const TraceSnapshot& trace);
 std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics);
+// The per-phase parallel-efficiency section ("parallel" in the report).
+std::string PoolSnapshotToJson(const PoolStatsSnapshot& pool);
 std::string RunReportToJson(const RunReport& report);
 
 // Human-readable indented span tree with counts, totals and self-time

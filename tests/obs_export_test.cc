@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -133,9 +134,33 @@ TEST(HistogramPercentile, OverflowClampsToLastBound) {
   EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.99), 10.0);
 }
 
-TEST(HistogramPercentile, EmptyHistogramIsZero) {
+TEST(HistogramPercentile, EmptyHistogramIsNaN) {
   obs::MetricsSnapshot::HistogramValue hist;
-  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.5), 0.0);
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(hist, 0.5)));
+  hist.bounds = {10.0, 20.0};
+  hist.buckets = {0, 0, 0};
+  hist.count = 0;
+  EXPECT_TRUE(std::isnan(obs::HistogramPercentile(hist, 0.5)));
+}
+
+TEST(HistogramPercentile, SingleBucketReturnsExactBound) {
+  obs::MetricsSnapshot::HistogramValue hist;
+  hist.bounds = {10.0, 20.0, 30.0};
+  hist.buckets = {0, 7, 0, 0};
+  hist.count = 7;
+  // All observations share bucket (10, 20]: every percentile is its
+  // upper bound, with no interpolated spread.
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.01), 20.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.99), 20.0);
+}
+
+TEST(HistogramPercentile, SingleOverflowBucketClampsToLastBound) {
+  obs::MetricsSnapshot::HistogramValue hist;
+  hist.bounds = {10.0};
+  hist.buckets = {0, 5};  // Only the overflow bucket is populated.
+  hist.count = 5;
+  EXPECT_DOUBLE_EQ(obs::HistogramPercentile(hist, 0.5), 10.0);
 }
 
 // --------------------------------------------------------------------
@@ -400,7 +425,18 @@ TEST(Sampler, DeltaFramesAreSparse) {
   ASSERT_FALSE(last.full);
   ASSERT_EQ(last.counter_deltas.size(), 1u);
   EXPECT_EQ(last.counter_deltas[0].second, 2);
-  EXPECT_TRUE(last.gauge_values.empty());
+  // Every tick refreshes the process RSS gauges (DESIGN.md §13), so a
+  // delta frame may legitimately carry mem.rss_* movement when the
+  // process footprint shifts between samples; nothing else may appear.
+  ASSERT_GE(ring.size(), 2u);
+  const obs::SampleFrame& reference = ring[ring.size() - 2];
+  ASSERT_TRUE(reference.full);
+  for (const auto& [index, value] : last.gauge_values) {
+    ASSERT_LT(index, reference.view.gauges.size());
+    const std::string& name = reference.view.gauges[index].first;
+    EXPECT_EQ(name.rfind("mem.rss", 0), 0u)
+        << "unexpected gauge delta: " << name << " = " << value;
+  }
   (*sampler)->Stop();
 }
 

@@ -1,0 +1,106 @@
+// benchcmp — the perf-regression gate over BENCH_JSON captures.
+//
+//   benchcmp <baseline.json|baseline-dir> <fresh.json|fresh-stdout.txt>
+//            [--metric_key elapsed_s]   row key holding the seconds
+//            [--rel 0.5]                relative tolerance (fail past
+//                                       base * (1 + rel))
+//            [--abs_floor_s 0.002]      AND the delta must exceed this
+//            [--check_only]             report, but exit 0 even on
+//                                       regressions (CI smoke mode on
+//                                       noisy shared runners)
+//            [--allow_host_mismatch]    compare across differing
+//                                       host_cores stamps
+//            [--trajectory t.jsonl]     append one summary row (the
+//                                       fresh timings + verdict) to the
+//                                       BENCH_trajectory log
+//
+// Inputs are baseline documents (benchmarks/baselines/*.json) or raw
+// harness stdout containing BENCH_JSON lines; a baseline directory
+// merges every *.json inside. Exit codes: 0 pass, 1 regression or
+// host mismatch, 2 usage / I/O error.
+
+#include <cstdio>
+#include <ctime>
+#include <string>
+
+#include "common/flags.h"
+#include "tools/benchcmp_lib.h"
+
+namespace {
+
+int UsageError(const char* message) {
+  std::fprintf(stderr, "benchcmp: %s\n", message);
+  std::fprintf(stderr,
+               "usage: benchcmp <baseline.json|dir> <fresh.json> "
+               "[--metric_key k] [--rel R] [--abs_floor_s S] "
+               "[--check_only] [--allow_host_mismatch] "
+               "[--trajectory t.jsonl]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dd::ArgParser args(argc, argv, 1);
+  if (args.positional().size() != 2) {
+    return UsageError("expected exactly two inputs: baseline and fresh run");
+  }
+  const std::string metric_key = args.GetString("metric_key", "elapsed_s");
+  dd::bench::CompareOptions options;
+  auto rel = args.GetDouble("rel", options.rel_tolerance);
+  auto abs_floor = args.GetDouble("abs_floor_s", options.abs_floor_s);
+  if (!rel.ok() || !abs_floor.ok()) {
+    return UsageError("--rel and --abs_floor_s must be numbers");
+  }
+  options.rel_tolerance = *rel;
+  options.abs_floor_s = *abs_floor;
+  options.allow_host_mismatch = args.Has("allow_host_mismatch");
+
+  auto base = dd::bench::LoadBenchFile(args.positional()[0], metric_key);
+  if (!base.ok()) {
+    std::fprintf(stderr, "benchcmp: baseline: %s\n",
+                 base.status().ToString().c_str());
+    return 2;
+  }
+  auto fresh = dd::bench::LoadBenchFile(args.positional()[1], metric_key);
+  if (!fresh.ok()) {
+    std::fprintf(stderr, "benchcmp: fresh run: %s\n",
+                 fresh.status().ToString().c_str());
+    return 2;
+  }
+  if (base->skipped_rows + fresh->skipped_rows > 0) {
+    std::fprintf(stderr,
+                 "benchcmp: note: %zu row(s) lacked \"%s\" and were "
+                 "ignored\n",
+                 base->skipped_rows + fresh->skipped_rows,
+                 metric_key.c_str());
+  }
+
+  const dd::bench::CompareReport report =
+      dd::bench::CompareBench(*base, *fresh, options);
+  std::fputs(dd::bench::CompareReportToText(report, options).c_str(), stdout);
+
+  const std::string trajectory = args.GetString("trajectory");
+  if (!trajectory.empty()) {
+    std::FILE* f = std::fopen(trajectory.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "benchcmp: cannot append to %s\n",
+                   trajectory.c_str());
+      return 2;
+    }
+    const std::string row = dd::bench::TrajectoryRow(
+        report, *fresh, static_cast<std::int64_t>(std::time(nullptr)));
+    std::fprintf(f, "%s\n", row.c_str());
+    std::fclose(f);
+  }
+
+  if (!report.ok()) {
+    if (args.Has("check_only")) {
+      std::fprintf(stderr,
+                   "benchcmp: regressions found, exiting 0 (--check_only)\n");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}

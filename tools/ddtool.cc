@@ -59,7 +59,7 @@
 //                    rows from stdin, applying them in --batch-row
 //                    chunks until EOF; same feed lines as watch
 //
-// Live telemetry (watch / serve; --chrome_trace everywhere):
+// Live telemetry (every subcommand):
 //   --metrics_port N     embedded HTTP server: GET /metrics (Prometheus
 //                        text exposition) and GET /healthz (N=0 picks
 //                        an ephemeral port, printed on stderr)
@@ -70,7 +70,16 @@
 //                        sampler frames (default: derived from clock
 //                        and pid)
 //   --chrome_trace f.json  write the span tree as Chrome trace-event
-//                        JSON (load in Perfetto / chrome://tracing)
+//                        JSON (load in Perfetto / chrome://tracing);
+//                        with pool stats on, pooled phases get real
+//                        per-worker-slot tracks from the chunk timeline
+//   --pool_stats         record per-worker pool execution stats (chunk
+//                        counts, busy/wait time) even without other
+//                        telemetry flags; any of --chrome_trace,
+//                        --trace_json, --metrics_port, --series turns
+//                        the collector on implicitly. Surfaces as
+//                        pool.* metrics, the run report's "parallel"
+//                        section, and worker tracks in the trace.
 //
 // Exit status 0 on success, 1 on bad usage or data errors.
 
@@ -105,6 +114,7 @@
 #include "obs/export/chrome_trace.h"
 #include "obs/export/http_server.h"
 #include "obs/export/sampler.h"
+#include "obs/pool_stats.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -191,12 +201,14 @@ dd::Status MaybeWriteTraceReport(const dd::ArgParser& args,
 }
 
 // Writes the span tree as Chrome trace-event JSON when --chrome_trace
-// was given.
+// was given. The pool-stats snapshot rides along so pooled phases get
+// real per-worker-slot tracks (empty snapshot -> span tracks only).
 dd::Status MaybeWriteChromeTrace(const dd::ArgParser& args) {
   const std::string path = args.GetString("chrome_trace");
   if (path.empty()) return dd::Status::Ok();
-  DD_RETURN_IF_ERROR(
-      dd::obs::WriteChromeTrace(dd::obs::Tracer::Global().Snapshot(), path));
+  DD_RETURN_IF_ERROR(dd::obs::WriteChromeTrace(
+      dd::obs::Tracer::Global().Snapshot(),
+      dd::obs::PoolStatsCollector::Global().Snapshot(), path));
   std::fprintf(stderr, "wrote chrome trace to %s\n", path.c_str());
   return dd::Status::Ok();
 }
@@ -399,6 +411,8 @@ int RunDetermine(const dd::ArgParser& args) {
     return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
   }
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
 
   dd::Result<dd::MatchingRelation> matching = LoadMatching(args, rule);
   if (!matching.ok()) return Fail(matching.status());
@@ -422,6 +436,7 @@ int RunDetermine(const dd::ArgParser& args) {
   if (args.Has("collapse")) {
     result->patterns = dd::CollapseEquivalent(std::move(result->patterns));
   }
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
   dd::Status trace_status = MaybeWriteTraceReport(
       args, "ddtool determine " + args.GetString("algo", "DAP+PAP"));
   if (!trace_status.ok()) return Fail(trace_status);
@@ -473,6 +488,8 @@ int RunExplain(const dd::ArgParser& args) {
     return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
   }
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
 
   dd::Result<dd::MatchingRelation> matching = LoadMatching(args, rule);
   if (!matching.ok()) return Fail(matching.status());
@@ -524,6 +541,7 @@ int RunExplain(const dd::ArgParser& args) {
                  landscape_path.c_str());
   }
 
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
   dd::Status trace_status = MaybeWriteTraceReport(
       args, "ddtool explain " + args.GetString("algo", "DAP+PAP"));
   if (!trace_status.ok()) return Fail(trace_status);
@@ -572,8 +590,11 @@ int RunDetect(const dd::ArgParser& args) {
   if (!pattern.ok()) return Fail(pattern.status());
 
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
   auto found = dd::DetectViolations(*relation, rule, *pattern, *moptions);
   if (!found.ok()) return Fail(found.status());
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
   dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool detect");
   if (!trace_status.ok()) return Fail(trace_status);
   trace_status = MaybeWriteChromeTrace(args);
@@ -620,8 +641,15 @@ int RunDiscover(const dd::ArgParser& args) {
   if (!top.ok()) return Fail(top.status());
   options.top_rules = static_cast<std::size_t>(*top);
 
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
   auto rules = dd::DiscoverRules(*relation, options);
   if (!rules.ok()) return Fail(rules.status());
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
+  dd::Status trace_status = MaybeWriteTraceReport(args, "ddtool discover");
+  if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
   std::printf("%zu rule(s):\n", rules->size());
   for (const auto& r : *rules) {
     std::printf("  [%s] -> [%s]  pattern %s  C=%.3f Q=%.2f utility=%.4f\n",
@@ -924,6 +952,15 @@ int main(int argc, char** argv) {
       return Fail(dd::Status::InvalidArgument("--threads must be >= 0"));
     }
     dd::SetDefaultThreads(static_cast<std::size_t>(*threads));
+  }
+  // Pool-stats recording turns on whenever the run produces an
+  // observability artifact that can surface it (--pool_stats forces it
+  // on regardless). Recording never perturbs chunking, so results stay
+  // bit-identical with the collector on or off.
+  if (args.Has("pool_stats") || args.Has("chrome_trace") ||
+      args.Has("trace_json") || args.Has("metrics_port") ||
+      args.Has("series")) {
+    dd::obs::PoolStatsCollector::Global().Enable();
   }
   if (command == "generate") return RunGenerate(args);
   if (command == "determine") return RunDetermine(args);
