@@ -1,0 +1,159 @@
+#include "approx/approx_provider.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/log.h"
+
+namespace dd::approx {
+
+namespace {
+
+// Inner provider over one stratum: O(1) grid when the lattice fits,
+// else the subset scan (both exact — the approximation lives entirely
+// in the stratum weights, never in the inner counts).
+Result<std::unique_ptr<MeasureProvider>> MakeInnerProvider(
+    const MatchingRelation& stratum, const ResolvedRule& resolved,
+    std::size_t threads) {
+  Result<std::unique_ptr<MeasureProvider>> grid =
+      MakeMeasureProvider(stratum, resolved, "grid", threads);
+  if (grid.ok()) return grid;
+  DD_LOG(INFO) << "approx inner grid rejected (" << grid.status().message()
+               << "); falling back to scan_subset";
+  return MakeMeasureProvider(stratum, resolved, "scan_subset", threads);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ApproxMeasureProvider>> ApproxMeasureProvider::Create(
+    const SampledMatchingBuilder& sample, const RuleSpec& rule, double z,
+    std::size_t threads) {
+  // Both strata share one attribute list, so one resolution serves both.
+  DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(sample.near(), rule));
+
+  auto provider =
+      std::unique_ptr<ApproxMeasureProvider>(new ApproxMeasureProvider());
+  DD_ASSIGN_OR_RETURN(provider->near_,
+                      MakeInnerProvider(sample.near(), resolved, threads));
+  DD_ASSIGN_OR_RETURN(provider->tail_,
+                      MakeInnerProvider(sample.tail(), resolved, threads));
+  provider->total_pairs_ = sample.total_pairs();
+  provider->tail_population_ = sample.tail_population();
+  provider->tail_sampled_ = sample.tail_sampled();
+  provider->exhaustive_ = sample.exhaustive();
+  provider->z_ = z;
+  provider->weight_ =
+      provider->tail_sampled_ == 0
+          ? 0.0
+          : static_cast<double>(provider->tail_population_) /
+                static_cast<double>(provider->tail_sampled_);
+  return provider;
+}
+
+std::uint64_t ApproxMeasureProvider::Estimate(std::uint64_t near_count,
+                                              std::uint64_t tail_count) const {
+  // Exhaustive and fraction-1.0 samples take the integer path: weight
+  // 1.0 exactly, no rounding anywhere — this is the bit-identity
+  // guarantee.
+  if (exhaustive_) return near_count + tail_count;
+  if (tail_sampled_ == 0) return near_count;
+  double scaled = weight_ * static_cast<double>(tail_count);
+  std::uint64_t inflated = static_cast<std::uint64_t>(std::llround(scaled));
+  // Clamp to the stratum it estimates: keeps every count <= total()
+  // (D, C <= 1) while preserving monotone rounding.
+  if (inflated > tail_population_) inflated = tail_population_;
+  return near_count + inflated;
+}
+
+Interval ApproxMeasureProvider::CountInterval(std::uint64_t near_count,
+                                              std::uint64_t tail_count) const {
+  if (exhaustive_) {
+    const double exact = static_cast<double>(near_count + tail_count);
+    return {exact, exact};
+  }
+  const Interval p =
+      WilsonInterval(tail_count, tail_sampled_, z_, tail_population_);
+  const double near = static_cast<double>(near_count);
+  const double population = static_cast<double>(tail_population_);
+  return {near + p.lo * population, near + p.hi * population};
+}
+
+std::uint64_t ApproxMeasureProvider::InnerRowsScanned() const {
+  return near_->stats().rows_scanned + tail_->stats().rows_scanned;
+}
+
+void ApproxMeasureProvider::SetLhs(const Levels& lhs) {
+  const std::uint64_t before = InnerRowsScanned();
+  near_->SetLhs(lhs);
+  tail_->SetLhs(lhs);
+  near_lhs_ = near_->lhs_count();
+  tail_lhs_ = tail_->lhs_count();
+  lhs_count_ = Estimate(near_lhs_, tail_lhs_);
+  current_lhs_ = lhs;
+  ++stats_.lhs_evaluations;
+  stats_.rows_scanned += InnerRowsScanned() - before;
+}
+
+std::uint64_t ApproxMeasureProvider::CountXY(const Levels& rhs) {
+  const std::uint64_t before = InnerRowsScanned();
+  const std::uint64_t near_xy = near_->CountXY(rhs);
+  const std::uint64_t tail_xy = tail_->CountXY(rhs);
+  ++stats_.xy_evaluations;
+  stats_.rows_scanned += InnerRowsScanned() - before;
+  return Estimate(near_xy, tail_xy);
+}
+
+std::unique_ptr<MeasureProvider> ApproxMeasureProvider::CloneForThread() const {
+  std::unique_ptr<MeasureProvider> near_clone = near_->CloneForThread();
+  std::unique_ptr<MeasureProvider> tail_clone = tail_->CloneForThread();
+  if (near_clone == nullptr || tail_clone == nullptr) return nullptr;
+  auto clone =
+      std::unique_ptr<ApproxMeasureProvider>(new ApproxMeasureProvider());
+  clone->near_ = std::move(near_clone);
+  clone->tail_ = std::move(tail_clone);
+  clone->total_pairs_ = total_pairs_;
+  clone->tail_population_ = tail_population_;
+  clone->tail_sampled_ = tail_sampled_;
+  clone->weight_ = weight_;
+  clone->z_ = z_;
+  clone->exhaustive_ = exhaustive_;
+  return clone;
+}
+
+bool ApproxMeasureProvider::SupportsConcurrentCountXY() const {
+  return near_->SupportsConcurrentCountXY() &&
+         tail_->SupportsConcurrentCountXY();
+}
+
+std::uint64_t ApproxMeasureProvider::CountXYConcurrent(
+    const Levels& rhs) const {
+  return Estimate(near_->CountXYConcurrent(rhs),
+                  tail_->CountXYConcurrent(rhs));
+}
+
+std::uint64_t ApproxMeasureProvider::RowsPerCountXY() const {
+  return near_->RowsPerCountXY() + tail_->RowsPerCountXY();
+}
+
+Interval ApproxMeasureProvider::LhsCountInterval() const {
+  return CountInterval(near_lhs_, tail_lhs_);
+}
+
+Interval ApproxMeasureProvider::XyCountInterval(const Levels& rhs) const {
+  return CountInterval(near_->CountXYConcurrent(rhs),
+                       tail_->CountXYConcurrent(rhs));
+}
+
+std::size_t ApproxMeasureProvider::MemoryUsageBytes() const {
+  std::size_t bytes = 0;
+  if (const auto* g = dynamic_cast<const GridMeasureProvider*>(near_.get())) {
+    bytes += g->MemoryUsageBytes();
+  }
+  if (const auto* g = dynamic_cast<const GridMeasureProvider*>(tail_.get())) {
+    bytes += g->MemoryUsageBytes();
+  }
+  return bytes;
+}
+
+}  // namespace dd::approx

@@ -1,0 +1,113 @@
+#include "approx/exact_stream.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "core/grid_util.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dd::approx {
+
+Result<std::unique_ptr<MeasureProvider>> BuildStreamingGridProvider(
+    const Relation& relation, const RuleSpec& rule,
+    const MatchingOptions& matching) {
+  obs::TraceSpan span("approx_exact_stream");
+  if (rule.lhs.empty() || rule.rhs.empty()) {
+    return Status::InvalidArgument("rule needs attributes on both sides");
+  }
+  for (const std::string& x : rule.lhs) {
+    if (std::find(rule.rhs.begin(), rule.rhs.end(), x) != rule.rhs.end()) {
+      return Status::InvalidArgument("attribute on both rule sides: " + x);
+    }
+  }
+  const std::vector<std::string> attributes = rule.AllAttributes();
+  DD_ASSIGN_OR_RETURN(
+      ResolvedMetrics resolved,
+      ResolveMatchingMetrics(relation.schema(), attributes, matching));
+
+  const std::size_t base = static_cast<std::size_t>(matching.dmax) + 1;
+  const std::size_t lhs_dims = rule.lhs.size();
+  const std::size_t rhs_dims = rule.rhs.size();
+  const std::size_t dims = lhs_dims + rhs_dims;
+  DD_ASSIGN_OR_RETURN(const std::size_t joint_cells,
+                      grid::GridCells(base, dims, std::size_t{1} << 27));
+  std::size_t lhs_cells = 1;
+  for (std::size_t d = 0; d < lhs_dims; ++d) lhs_cells *= base;
+
+  const std::uint64_t n = relation.num_rows();
+  const std::uint64_t total_pairs = n * (n - 1) / 2;
+  const std::size_t threads =
+      matching.threads == 0 ? DefaultThreads() : matching.threads;
+  const PairLevelSource source(relation, resolved, matching, total_pairs,
+                               threads);
+
+  const std::size_t chunks = EffectiveChunks(total_pairs, threads);
+  std::vector<std::vector<std::uint64_t>> joint_per_chunk(
+      chunks, std::vector<std::uint64_t>(joint_cells, 0));
+  std::vector<std::vector<std::uint64_t>> lhs_per_chunk(
+      chunks, std::vector<std::uint64_t>(lhs_cells, 0));
+  std::atomic<std::uint64_t> metric_calls{0};
+
+  ParallelFor(
+      "approx_exact_stream.pairs", total_pairs, threads,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        std::vector<std::uint64_t>& joint = joint_per_chunk[chunk];
+        std::vector<std::uint64_t>& lhs_grid = lhs_per_chunk[chunk];
+        std::vector<Level> levels(dims);
+        std::uint64_t calls = 0;
+        // Decode the chunk's first pair once, then walk the triangle
+        // incrementally — no per-pair sqrt on a loop this hot.
+        auto [i, j] = DecodeTriangularPair(begin, n);
+        for (std::size_t k = begin; k < end; ++k) {
+          source.Levels(i, j, levels.data(), &calls);
+          std::size_t joint_idx = 0;
+          std::size_t lhs_idx = 0;
+          // rhs dims are high-order; fill from the back (grid layout,
+          // core/grid_provider.cc).
+          for (std::size_t a = dims; a-- > lhs_dims;) {
+            joint_idx = joint_idx * base + levels[a];
+          }
+          for (std::size_t a = lhs_dims; a-- > 0;) {
+            joint_idx = joint_idx * base + levels[a];
+            lhs_idx = lhs_idx * base + levels[a];
+          }
+          ++joint[joint_idx];
+          ++lhs_grid[lhs_idx];
+          if (++j == n) {
+            ++i;
+            j = i + 1;
+          }
+        }
+        metric_calls.fetch_add(calls, std::memory_order_relaxed);
+      });
+
+  std::vector<std::uint64_t> joint(joint_cells, 0);
+  std::vector<std::uint64_t> lhs_grid(lhs_cells, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t idx = 0; idx < joint_cells; ++idx) {
+      joint[idx] += joint_per_chunk[c][idx];
+    }
+    for (std::size_t idx = 0; idx < lhs_cells; ++idx) {
+      lhs_grid[idx] += lhs_per_chunk[c][idx];
+    }
+  }
+
+  obs::MetricsRegistry::Global()
+      .GetCounter("matching.distances_computed")
+      .Add(metric_calls.load(std::memory_order_relaxed));
+  DD_LOG(INFO) << "streaming grid built: " << total_pairs << " pairs into "
+               << joint_cells << " cells, threads=" << threads;
+  DD_ASSIGN_OR_RETURN(
+      auto provider,
+      GridMeasureProvider::CreateFromHistograms(
+          std::move(joint), std::move(lhs_grid), total_pairs, matching.dmax,
+          lhs_dims, rhs_dims));
+  return std::unique_ptr<MeasureProvider>(std::move(provider));
+}
+
+}  // namespace dd::approx

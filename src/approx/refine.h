@@ -1,0 +1,93 @@
+// Progressive-refinement determination over the stratified sample:
+// run the full DA/PA search against the approximate provider, read off
+// Wilson error bounds for every answer, and keep doubling the tail
+// sample until the top-l utility ranking is stable under those bounds
+// (or the sample went exhaustive, at which point the run IS the exact
+// pipeline).
+//
+// Convergence test per round, searching with l+1 answers:
+//   * the top-l pattern set matches the previous round's, and
+//   * lower(Ū_l) >= upper(Ū_{l+1}) - epsilon — the runner-up cannot
+//     displace the l-th answer beyond the allowed slack.
+// Interval machinery: D bounds come straight from the LHS count
+// interval; C conservatively combines the XY and LHS bounds
+// (xy_lo/lhs_hi .. xy_hi/lhs_lo); Q is DETERMINISTIC in the RHS levels
+// (formula 3 — no interval needed, reported exact); Ū bounds evaluate
+// the utility at the four (D, C) corner combinations, exact for the
+// closed form since Ū is monotone in CQ at fixed D and monotone in D
+// along fixed CQ.
+
+#ifndef DD_APPROX_REFINE_H_
+#define DD_APPROX_REFINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "approx/approx_provider.h"
+#include "approx/sampled_builder.h"
+#include "common/math_util.h"
+#include "common/result.h"
+#include "core/determiner.h"
+
+namespace dd::approx {
+
+// Achieved error bounds for one determined pattern. Point estimates
+// live in the paired DeterminedPattern; these are the ± around them.
+struct PatternIntervals {
+  Interval lhs_count;   // absolute pairs
+  Interval xy_count;    // absolute pairs
+  Interval d;           // lhs_count / total
+  Interval confidence;
+  Interval utility;
+  double quality = 0.0;  // exact — deterministic in the RHS levels
+};
+
+struct ApproxDetermineResult {
+  // Point-estimate determination of the final round, truncated to the
+  // requested top_l (the search itself ran with l+1 to expose the
+  // runner-up).
+  DetermineResult determine;
+  // Parallel to determine.patterns.
+  std::vector<PatternIntervals> intervals;
+
+  std::uint64_t total_pairs = 0;
+  std::uint64_t near_pairs = 0;
+  std::uint64_t sampled_pairs = 0;   // tail stratum
+  double sample_fraction = 1.0;
+  std::size_t rounds = 0;
+  bool exhaustive = false;  // degenerated to the exact pipeline
+  bool converged = false;   // ranking stable under the intervals
+};
+
+struct ApproxDetermineOptions {
+  // The search configuration; `provider` is ignored (the approx
+  // provider replaces it) and `top_l` is the reported answer size.
+  DetermineOptions determine;
+  ApproxOptions approx;
+};
+
+// One refinement round against a prebuilt sample at its CURRENT size —
+// no growth. This is the discover path, where one shared sample serves
+// many enumerated rules.
+Result<ApproxDetermineResult> ApproxDetermineWithSample(
+    const SampledMatchingBuilder& sample, const RuleSpec& rule,
+    const ApproxDetermineOptions& options);
+
+// The full driver: build the stratified sample over the rule's
+// attributes, refine until convergence / exhaustion / max_rounds, and
+// report achieved bounds. `relation` only needs to live for the call.
+Result<ApproxDetermineResult> ApproxDetermineThresholds(
+    const Relation& relation, const RuleSpec& rule,
+    const MatchingOptions& matching, const ApproxDetermineOptions& options);
+
+// JSON document for pipeline integration: the DetermineResultToJson
+// payload wrapped with sampling metadata and per-pattern interval
+// fields ("d_lo"/"d_hi", "confidence_lo"/..., "utility_lo"/...,
+// "estimated": true|false).
+std::string ApproxResultToJson(const ApproxDetermineResult& result,
+                               const RuleSpec& rule);
+
+}  // namespace dd::approx
+
+#endif  // DD_APPROX_REFINE_H_

@@ -104,4 +104,41 @@ double Clamp(double x, double lo, double hi) {
   return std::min(std::max(x, lo), hi);
 }
 
+Interval WilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double z, std::uint64_t population) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  // The sample IS the population: exact, zero width.
+  if (population > 0 && trials >= population) return {phat, phat};
+  // Finite-population correction enters through the critical value:
+  // the sampling variance of a without-replacement proportion is the
+  // with-replacement variance times (N-n)/(N-1).
+  double zf = z;
+  if (population > 1) {
+    zf *= std::sqrt(static_cast<double>(population - trials) /
+                    static_cast<double>(population - 1));
+  }
+  // Continuity-corrected Wilson bounds (Newcombe 1998, method 4): the
+  // plain score interval's coverage oscillates below nominal for many
+  // (n, p); the corrected one stays conservative, which is what the
+  // refinement driver's "ranking stable under the intervals" test
+  // needs.
+  const double z2 = zf * zf;
+  const double denom = 2.0 * (n + z2);
+  const double arg_lo =
+      z2 - 2.0 - 1.0 / n + 4.0 * phat * (n * (1.0 - phat) + 1.0);
+  const double arg_hi =
+      z2 + 2.0 - 1.0 / n + 4.0 * phat * (n * (1.0 - phat) - 1.0);
+  double lo = (2.0 * n * phat + z2 - 1.0 -
+               zf * std::sqrt(std::max(0.0, arg_lo))) /
+              denom;
+  double hi = (2.0 * n * phat + z2 + 1.0 +
+               zf * std::sqrt(std::max(0.0, arg_hi))) /
+              denom;
+  if (successes == 0) lo = 0.0;  // boundary cases are exact one-sided
+  if (successes == trials) hi = 1.0;
+  return {Clamp(lo, 0.0, 1.0), Clamp(hi, 0.0, 1.0)};
+}
+
 }  // namespace dd

@@ -7,9 +7,35 @@
 #define DD_COMMON_MATH_UTIL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace dd {
+
+// A closed real interval [lo, hi].
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double width() const { return hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+};
+
+// Continuity-corrected Wilson score interval for a Binomial
+// proportion: `successes` out of `trials`, two-sided critical value `z`
+// (default 1.96 ≈ 95%). The continuity correction (Newcombe 1998 m.4)
+// keeps realized coverage at or above nominal where the plain score
+// interval oscillates below it. When `population` > 0 the trials are a
+// without-replacement sample from a finite population of that size and
+// the interval applies the standard finite-population correction
+// sqrt((N-n)/(N-1)) to z; a sample that reaches the whole population
+// returns the exact zero-width interval, which is what makes a
+// fraction-1.0 approximate run report exact bounds. trials == 0
+// returns the vacuous [0, 1]. The returned interval always contains
+// successes/trials and is clamped to [0, 1].
+Interval WilsonInterval(std::uint64_t successes, std::uint64_t trials,
+                        double z = 1.959963984540054,
+                        std::uint64_t population = 0);
 
 // log of the binomial coefficient C(n, k) generalized to real k via
 // lgamma: lgamma(n+1) - lgamma(k+1) - lgamma(n-k+1).

@@ -38,9 +38,10 @@ void PublishDetermineMetrics(const DaStats& stats,
   registry.GetGauge("determine.pruning_rate").Set(stats.PruningRate());
 }
 
-Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
-                                            const RuleSpec& rule,
-                                            const DetermineOptions& options) {
+Result<DetermineResult> DetermineWithProvider(
+    MeasureProvider* provider, std::size_t lhs_dims, std::size_t rhs_dims,
+    int dmax, const DetermineOptions& options,
+    const std::string& provider_label) {
   if (options.top_l == 0) {
     return Status::InvalidArgument("top_l must be >= 1");
   }
@@ -50,27 +51,19 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
     rec->SetRunLabel(StrFormat(
         "%s+%s provider=%s order=%s top_l=%zu",
         LhsAlgorithmName(options.lhs_algorithm),
-        RhsAlgorithmName(options.rhs_algorithm), options.provider.c_str(),
+        RhsAlgorithmName(options.rhs_algorithm), provider_label.c_str(),
         ProcessingOrderName(options.order), options.top_l));
   }
-  DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
   const std::size_t threads =
       options.threads == 0 ? DefaultThreads() : options.threads;
-  std::unique_ptr<MeasureProvider> provider;
-  {
-    obs::TraceSpan span("provider_build");
-    DD_ASSIGN_OR_RETURN(provider,
-                        MakeMeasureProvider(matching, resolved,
-                                            options.provider, threads));
-  }
 
   DetermineResult result;
   UtilityOptions utility = options.utility;
   if (options.prior_sample_size > 0) {
     obs::TraceSpan span("prior_estimation");
-    utility.prior_mean_cq = EstimatePriorMeanCq(
-        provider.get(), resolved.lhs.size(), resolved.rhs.size(),
-        matching.dmax(), options.prior_sample_size, options.prior_seed);
+    utility.prior_mean_cq =
+        EstimatePriorMeanCq(provider, lhs_dims, rhs_dims, dmax,
+                            options.prior_sample_size, options.prior_seed);
   }
   result.prior_mean_cq = utility.prior_mean_cq;
   // Stats contract (see measure_provider.h): provider stats accumulate
@@ -90,9 +83,8 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
   Stopwatch timer;
   {
     obs::TraceSpan span("search");
-    result.patterns = DetermineBestPatterns(
-        provider.get(), resolved.lhs.size(), resolved.rhs.size(),
-        matching.dmax(), da, &result.stats);
+    result.patterns = DetermineBestPatterns(provider, lhs_dims, rhs_dims, dmax,
+                                            da, &result.stats);
   }
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.provider_stats = provider->stats();
@@ -100,9 +92,30 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
   DD_LOG(INFO) << LhsAlgorithmName(options.lhs_algorithm) << "+"
                << RhsAlgorithmName(options.rhs_algorithm) << " determined "
                << result.patterns.size() << " pattern(s) over |M|="
-               << matching.num_tuples() << " in " << total_timer.ElapsedSeconds()
+               << provider->total() << " in " << total_timer.ElapsedSeconds()
                << "s (pruning rate " << result.stats.PruningRate() << ")";
   return result;
+}
+
+Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
+                                            const RuleSpec& rule,
+                                            const DetermineOptions& options) {
+  if (options.top_l == 0) {
+    return Status::InvalidArgument("top_l must be >= 1");
+  }
+  DD_ASSIGN_OR_RETURN(ResolvedRule resolved, ResolveRule(matching, rule));
+  const std::size_t threads =
+      options.threads == 0 ? DefaultThreads() : options.threads;
+  std::unique_ptr<MeasureProvider> provider;
+  {
+    obs::TraceSpan span("provider_build");
+    DD_ASSIGN_OR_RETURN(provider,
+                        MakeMeasureProvider(matching, resolved,
+                                            options.provider, threads));
+  }
+  return DetermineWithProvider(provider.get(), resolved.lhs.size(),
+                               resolved.rhs.size(), matching.dmax(), options,
+                               options.provider);
 }
 
 }  // namespace dd

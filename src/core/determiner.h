@@ -70,6 +70,19 @@ Result<DetermineResult> DetermineThresholds(const MatchingRelation& matching,
                                             const RuleSpec& rule,
                                             const DetermineOptions& options);
 
+// The provider-agnostic core of DetermineThresholds: prior estimation,
+// stats reset, the DA/PA search, and metrics publication against an
+// already-built provider. Shared with pipelines that own provider
+// construction themselves (the approx refinement driver,
+// approx/refine.h, runs it repeatedly against growing samples).
+// `options.provider` is ignored; `provider_label` feeds the EXPLAIN run
+// label instead.
+Result<DetermineResult> DetermineWithProvider(MeasureProvider* provider,
+                                              std::size_t lhs_dims,
+                                              std::size_t rhs_dims, int dmax,
+                                              const DetermineOptions& options,
+                                              const std::string& provider_label);
+
 }  // namespace dd
 
 #endif  // DD_CORE_DETERMINER_H_

@@ -65,6 +65,45 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
   return provider;
 }
 
+Result<std::unique_ptr<GridMeasureProvider>>
+GridMeasureProvider::CreateFromHistograms(std::vector<std::uint64_t> joint,
+                                          std::vector<std::uint64_t> lhs_grid,
+                                          std::uint64_t total, int dmax,
+                                          std::size_t lhs_dims,
+                                          std::size_t rhs_dims) {
+  if (dmax < 1 || dmax > 255) {
+    return Status::InvalidArgument(
+        StrFormat("dmax %d outside [1, 255]", dmax));
+  }
+  const std::size_t base = static_cast<std::size_t>(dmax) + 1;
+  const std::size_t dims = lhs_dims + rhs_dims;
+  std::size_t joint_cells = 1;
+  for (std::size_t d = 0; d < dims; ++d) joint_cells *= base;
+  std::size_t lhs_cells = 1;
+  for (std::size_t d = 0; d < lhs_dims; ++d) lhs_cells *= base;
+  if (joint.size() != joint_cells || lhs_grid.size() != lhs_cells) {
+    return Status::InvalidArgument(StrFormat(
+        "histogram sizes %zu/%zu do not match (dmax+1)^dims %zu/%zu",
+        joint.size(), lhs_grid.size(), joint_cells, lhs_cells));
+  }
+  auto provider =
+      std::unique_ptr<GridMeasureProvider>(new GridMeasureProvider());
+  provider->total_ = total;
+  provider->dmax_ = dmax;
+  provider->lhs_dims_ = lhs_dims;
+  provider->rhs_dims_ = rhs_dims;
+  grid::PrefixSumAllDims(&joint, dims, base);
+  grid::PrefixSumAllDims(&lhs_grid, lhs_dims, base);
+  provider->joint_ =
+      std::make_shared<const std::vector<std::uint64_t>>(std::move(joint));
+  provider->lhs_grid_ =
+      std::make_shared<const std::vector<std::uint64_t>>(std::move(lhs_grid));
+  obs::MetricsRegistry::Global().GetGauge("provider.grid_cells").Set(
+      static_cast<double>(joint_cells));
+  obs::SetMemoryGauge("grid", provider->MemoryUsageBytes());
+  return provider;
+}
+
 void GridMeasureProvider::SetLhs(const Levels& lhs) {
   DD_CHECK_EQ(lhs.size(), lhs_dims_);
   ++stats_.lhs_evaluations;

@@ -187,6 +187,20 @@ class GridMeasureProvider : public MeasureProvider {
       const MatchingRelation& matching, ResolvedRule rule,
       std::size_t max_cells = std::size_t{1} << 27);
 
+  // Builds the provider from externally-accumulated PLAIN histograms
+  // (one count per exact level combination; lhs dims low-order in
+  // `joint`, rhs high-order — the layout Create's histogram pass uses),
+  // prefix-summing them in place. This is how the streaming exact build
+  // (approx/exact_stream.h) gets O(d^c)-memory determination without
+  // ever materializing M: it streams the triangular pair enumeration
+  // straight into these histograms. `total` is the number of pairs the
+  // histograms cover; sizes must be (dmax+1)^(lhs_dims+rhs_dims) and
+  // (dmax+1)^lhs_dims.
+  static Result<std::unique_ptr<GridMeasureProvider>> CreateFromHistograms(
+      std::vector<std::uint64_t> joint, std::vector<std::uint64_t> lhs_grid,
+      std::uint64_t total, int dmax, std::size_t lhs_dims,
+      std::size_t rhs_dims);
+
   std::uint64_t total() const override { return total_; }
   void SetLhs(const Levels& lhs) override;
   std::uint64_t lhs_count() const override { return lhs_count_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -47,9 +49,45 @@ Result<std::vector<DiscoveredRule>> DiscoverRules(
         "rule discovery over more than 16 attributes is not supported");
   }
 
-  // One pairwise matching pass over all attributes serves every rule.
-  DD_ASSIGN_OR_RETURN(MatchingRelation matching,
-                      BuildMatchingRelation(relation, attrs, options.matching));
+  // One pairwise matching pass over all attributes serves every rule —
+  // either the exact matching relation or one shared stratified sample.
+  MatchingRelation matching({}, /*dmax=*/1);  // placeholder until built
+  std::unique_ptr<approx::SampledMatchingBuilder> sample;
+  if (options.approx) {
+    DD_ASSIGN_OR_RETURN(sample, approx::SampledMatchingBuilder::Build(
+                                    relation, attrs, options.matching,
+                                    options.approx_options));
+  } else {
+    DD_ASSIGN_OR_RETURN(matching, BuildMatchingRelation(relation, attrs,
+                                                        options.matching));
+  }
+
+  const auto determine_rule =
+      [&](const RuleSpec& rule) -> Result<DiscoveredRule> {
+    DiscoveredRule out;
+    out.rule = rule;
+    if (options.approx) {
+      approx::ApproxDetermineOptions approx_options;
+      approx_options.determine = options.determine;
+      approx_options.approx = options.approx_options;
+      DD_ASSIGN_OR_RETURN(
+          approx::ApproxDetermineResult result,
+          approx::ApproxDetermineWithSample(*sample, rule, approx_options));
+      if (result.determine.patterns.empty()) return out;
+      out.best = result.determine.patterns.front();
+      out.prior_mean_cq = result.determine.prior_mean_cq;
+      out.estimated = !result.exhaustive;
+      out.utility = result.intervals.front().utility;
+      return out;
+    }
+    DD_ASSIGN_OR_RETURN(DetermineResult result,
+                        DetermineThresholds(matching, rule, options.determine));
+    if (result.patterns.empty()) return out;
+    out.best = result.patterns.front();
+    out.prior_mean_cq = result.prior_mean_cq;
+    out.utility = {out.best.utility, out.best.utility};
+    return out;
+  };
 
   std::vector<DiscoveredRule> discovered;
   Status failure = Status::Ok();
@@ -61,16 +99,16 @@ Result<std::vector<DiscoveredRule>> DiscoverRules(
     ForEachSubset(pool, options.max_lhs_size, [&](std::vector<std::string> lhs) {
       if (!failure.ok()) return;
       RuleSpec rule{std::move(lhs), {target}};
-      auto result = DetermineThresholds(matching, rule, options.determine);
+      auto result = determine_rule(rule);
       if (!result.ok()) {
         failure = result.status();
         return;
       }
-      if (result->patterns.empty()) return;
-      if (result->patterns.front().utility <= options.min_utility) return;
-      discovered.push_back(DiscoveredRule{std::move(rule),
-                                          result->patterns.front(),
-                                          result->prior_mean_cq});
+      // Determined patterns always carry LHS levels; an empty pattern
+      // means no answer cleared the determination for this rule.
+      if (result->best.pattern.lhs.empty()) return;
+      if (result->best.utility <= options.min_utility) return;
+      discovered.push_back(std::move(*result));
     });
     if (!failure.ok()) return failure;
   }

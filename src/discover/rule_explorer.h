@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "approx/refine.h"
+#include "common/math_util.h"
 #include "common/result.h"
 #include "core/determiner.h"
 #include "data/relation.h"
@@ -39,6 +41,13 @@ struct ExploreOptions {
   // empty answer are dropped.
   double min_utility = 0.0;
 
+  // Sampled + LSH-blocked sweep (src/approx): one shared stratified
+  // sample serves every candidate rule instead of the exact matching
+  // relation. Per-rule utilities become estimates with error bounds;
+  // requires matching.max_pairs == 0 (the sample owns its own budget).
+  bool approx = false;
+  approx::ApproxOptions approx_options;
+
   ExploreOptions() { determine.provider = "grid"; }
 };
 
@@ -46,6 +55,10 @@ struct DiscoveredRule {
   RuleSpec rule;
   DeterminedPattern best;
   double prior_mean_cq = 0.0;
+  // Approx sweeps only: best.utility is an estimate inside `utility`.
+  // Exact sweeps report estimated == false and a zero-width interval.
+  bool estimated = false;
+  Interval utility{0.0, 0.0};
 };
 
 // Enumerates and ranks candidate rules over all attributes of

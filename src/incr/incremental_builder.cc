@@ -1,6 +1,7 @@
 #include "incr/incremental_builder.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <utility>
 
 #include "common/logging.h"
@@ -102,10 +103,13 @@ Result<MatchingDelta> IncrementalMatchingBuilder::ApplyBatch(
     new_ids.push_back(*id);
   }
 
-  const std::size_t b = new_ids.size();
-  const std::size_t total_new = old_live.size() * b + b * (b - 1) / 2;
+  // Pair counts are 64-bit BY CONTRACT (matching/builder.h): b(b-1)/2
+  // overflows 32-bit size types near b ≈ 93k.
+  const std::uint64_t b = new_ids.size();
+  const std::uint64_t total_new =
+      static_cast<std::uint64_t>(old_live.size()) * b + b * (b - 1) / 2;
   delta.added_pairs.reserve(total_new);
-  for (std::size_t k = 0; k < b; ++k) {
+  for (std::uint64_t k = 0; k < b; ++k) {
     const std::uint32_t j = new_ids[k];
     for (std::uint32_t i : old_live) delta.added_pairs.emplace_back(i, j);
     for (std::size_t e = 0; e < k; ++e) {
@@ -147,9 +151,9 @@ Result<MatchingDelta> IncrementalMatchingBuilder::ApplyBatch(
 MatchingRelation IncrementalMatchingBuilder::Rebuild() const {
   obs::TraceSpan span("incr/rebuild");
   const std::vector<std::uint32_t> live = store_.LiveIds();
-  const std::size_t n = live.size();
+  const std::uint64_t n = live.size();
   MatchingRelation out(attributes_, options_.matching.dmax);
-  out.Reserve(n * (n - 1) / 2);
+  out.Reserve(n * (n - 1) / 2);  // 64-bit pair count (matching/builder.h)
   std::vector<Level> levels(attributes_.size());
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {

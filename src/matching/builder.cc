@@ -18,88 +18,26 @@
 
 namespace dd {
 
-namespace {
-
-// Per-attribute cached level source: the precomputed distinct-pair
-// table when it pays off, else interning with the equal-value shortcut,
-// else the raw metric. All three produce identical levels.
-struct AttrLevelSource {
-  AttributeValueIndex index;                    // empty when cache disabled
-  std::unique_ptr<ValuePairLevelTable> table;   // may be null
-  bool interned = false;
-};
-
-class PairLevelSource {
- public:
-  PairLevelSource(const Relation& relation, const ResolvedMetrics& resolved,
-                  const MatchingOptions& options,
-                  std::uint64_t pairs_to_compute, std::size_t threads)
-      : relation_(relation), resolved_(resolved) {
-    if (!options.value_cache) return;
-    attrs_.resize(resolved.num_attributes());
-    for (std::size_t a = 0; a < attrs_.size(); ++a) {
-      attrs_[a].index = InternColumn(relation, resolved.attr_idx[a]);
-      attrs_[a].interned = true;
-      attrs_[a].table = ValuePairLevelTable::Build(
-          attrs_[a].index, *resolved.metrics[a], resolved.scales[a],
-          resolved.dmax, pairs_to_compute, options.value_cache_max_cells,
-          threads);
-      if (attrs_[a].table != nullptr) {
-        precomputed_distances_ += attrs_[a].table->distances_computed();
-      }
+PairLevelSource::PairLevelSource(const Relation& relation,
+                                 const ResolvedMetrics& resolved,
+                                 const MatchingOptions& options,
+                                 std::uint64_t pairs_to_compute,
+                                 std::size_t threads)
+    : relation_(relation), resolved_(resolved) {
+  if (!options.value_cache) return;
+  attrs_.resize(resolved.num_attributes());
+  for (std::size_t a = 0; a < attrs_.size(); ++a) {
+    attrs_[a].index = InternColumn(relation, resolved.attr_idx[a]);
+    attrs_[a].interned = true;
+    attrs_[a].table = ValuePairLevelTable::Build(
+        attrs_[a].index, *resolved.metrics[a], resolved.scales[a],
+        resolved.dmax, pairs_to_compute, options.value_cache_max_cells,
+        threads);
+    if (attrs_[a].table != nullptr) {
+      precomputed_distances_ += attrs_[a].table->distances_computed();
     }
   }
-
-  // Levels of pair (i, j); adds the number of metric evaluations it
-  // performed to *metric_calls.
-  void Levels(std::uint32_t i, std::uint32_t j, Level* levels,
-              std::uint64_t* metric_calls) const {
-    for (std::size_t a = 0; a < resolved_.num_attributes(); ++a) {
-      if (a < attrs_.size() && attrs_[a].interned) {
-        const AttrLevelSource& attr = attrs_[a];
-        const std::uint32_t ia = attr.index.row_ids[i];
-        const std::uint32_t ib = attr.index.row_ids[j];
-        if (attr.table != nullptr) {
-          levels[a] = attr.table->LevelOf(ia, ib);
-          continue;
-        }
-        if (ia == ib) {  // d(x, x) = 0, a metric axiom.
-          levels[a] = 0;
-          continue;
-        }
-      }
-      levels[a] = resolved_.ComputeLevel(relation_, i, j, a);
-      ++*metric_calls;
-    }
-  }
-
-  std::uint64_t precomputed_distances() const {
-    return precomputed_distances_;
-  }
-
-  std::size_t tables_built() const {
-    std::size_t n = 0;
-    for (const auto& a : attrs_) n += a.table != nullptr ? 1 : 0;
-    return n;
-  }
-
-  // Heap bytes across the per-attribute level tables (mem.value_cache).
-  std::size_t cache_bytes() const {
-    std::size_t bytes = 0;
-    for (const auto& a : attrs_) {
-      if (a.table != nullptr) bytes += a.table->MemoryUsageBytes();
-    }
-    return bytes;
-  }
-
- private:
-  const Relation& relation_;
-  const ResolvedMetrics& resolved_;
-  std::vector<AttrLevelSource> attrs_;
-  std::uint64_t precomputed_distances_ = 0;
-};
-
-}  // namespace
+}
 
 std::pair<std::uint32_t, std::uint32_t> DecodeTriangularPair(std::uint64_t k,
                                                              std::uint64_t n) {
@@ -118,6 +56,11 @@ std::pair<std::uint32_t, std::uint32_t> DecodeTriangularPair(std::uint64_t k,
   while (i > 0 && row_start(i) > k) --i;
   std::uint64_t j = i + 1 + (k - row_start(i));
   return {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)};
+}
+
+std::uint64_t EncodeTriangularPair(std::uint64_t i, std::uint64_t j,
+                                   std::uint64_t n) {
+  return i * (n - 1) - i * (i - 1) / 2 + (j - i - 1);
 }
 
 Level BucketDistance(double raw, double scale, int dmax) {
@@ -188,6 +131,11 @@ Result<ResolvedMetrics> ResolveMatchingMetrics(
 Result<MatchingRelation> BuildMatchingRelation(
     const Relation& relation, const std::vector<std::string>& attributes,
     const MatchingOptions& options) {
+  if (options.mode != MatchingMode::kExact) {
+    return Status::InvalidArgument(
+        "MatchingMode::kApprox is owned by approx::SampledMatchingBuilder; "
+        "BuildMatchingRelation only builds exact relations");
+  }
   obs::TraceSpan span("matching_build");
   static obs::Counter& pairs_counter =
       obs::MetricsRegistry::Global().GetCounter("matching.pairs_computed");

@@ -18,6 +18,17 @@
 
 namespace dd {
 
+// Coarse similarity-family tag the approximation subsystem
+// (src/approx/lsh_index.h) uses to pick a near-pair candidate scheme
+// per attribute: minhash banding over token sets (kTokenSet) or q-gram
+// sets (kQGram), length-bucketed q-gram banding for edit distance
+// (kEdit, |len(a)-len(b)| lower-bounds the distance), sorted-neighbor
+// windows for numerics (kNumeric). kNone opts the attribute out of
+// blocking entirely — still correct, because stratified estimation
+// never depends on WHICH pairs the blocker surfaces, only variance
+// does.
+enum class BlockingFamily { kNone, kTokenSet, kQGram, kEdit, kNumeric };
+
 // A distance function on attribute values. Implementations must be
 // symmetric, non-negative, and return 0 for identical inputs.
 class DistanceMetric {
@@ -51,6 +62,12 @@ class DistanceMetric {
 
   // True when distances always lie in [0, 1].
   virtual bool is_normalized() const { return false; }
+
+  // Candidate-generation family for LSH blocking (see BlockingFamily).
+  // Custom metrics default to kNone: no blocking, sampling-only.
+  virtual BlockingFamily blocking_family() const {
+    return BlockingFamily::kNone;
+  }
 };
 
 // Levenshtein (unit-cost insert/delete/substitute) edit distance.
@@ -65,6 +82,9 @@ class LevenshteinMetric : public DistanceMetric {
   double Distance(std::string_view a, std::string_view b) const override;
   double BoundedDistance(std::string_view a, std::string_view b,
                          double cap) const override;
+  BlockingFamily blocking_family() const override {
+    return BlockingFamily::kEdit;
+  }
 };
 
 // Positional q-gram distance: multiset symmetric difference of the
@@ -76,6 +96,9 @@ class QGramMetric : public DistanceMetric {
   std::string_view name() const override { return "qgram"; }
   double Distance(std::string_view a, std::string_view b) const override;
   std::size_t q() const { return q_; }
+  BlockingFamily blocking_family() const override {
+    return BlockingFamily::kQGram;
+  }
 
  private:
   std::size_t q_;
@@ -87,6 +110,9 @@ class JaccardMetric : public DistanceMetric {
   std::string_view name() const override { return "jaccard"; }
   double Distance(std::string_view a, std::string_view b) const override;
   bool is_normalized() const override { return true; }
+  BlockingFamily blocking_family() const override {
+    return BlockingFamily::kTokenSet;
+  }
 };
 
 // Cosine distance on whitespace token term-frequency vectors, in [0, 1].
@@ -95,6 +121,9 @@ class CosineMetric : public DistanceMetric {
   std::string_view name() const override { return "cosine"; }
   double Distance(std::string_view a, std::string_view b) const override;
   bool is_normalized() const override { return true; }
+  BlockingFamily blocking_family() const override {
+    return BlockingFamily::kTokenSet;
+  }
 };
 
 // Absolute difference of the parsed numeric values. Values that do not
@@ -103,6 +132,9 @@ class NumericAbsMetric : public DistanceMetric {
  public:
   std::string_view name() const override { return "numeric_abs"; }
   double Distance(std::string_view a, std::string_view b) const override;
+  BlockingFamily blocking_family() const override {
+    return BlockingFamily::kNumeric;
+  }
 };
 
 // Name -> factory registry. The default registry contains all built-in

@@ -95,6 +95,8 @@ std::string ExplainAuditToJson(const obs::ExplainSnapshot& snapshot,
   out += "  \"run\": \"";
   out += obs::JsonEscape(snapshot.run_label);
   out += "\",\n";
+  out += StrFormat("  \"estimated\": %s,\n",
+                   snapshot.estimated ? "true" : "false");
   out += "  \"rule\": {\"lhs\": ";
   out += AttrListToJson(rule.lhs);
   out += ", \"rhs\": ";
@@ -206,6 +208,7 @@ std::string PruningWaterfallToText(const obs::ExplainSnapshot& snapshot,
     out += snapshot.run_label;
     out += ")";
   }
+  if (snapshot.estimated) out += " [estimated counts]";
   out += "\n";
   out += StrFormat("  %-30s %12s %12s\n", "stage", "count", "remaining");
   std::uint64_t remaining = w.candidates;

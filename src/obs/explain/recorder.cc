@@ -105,6 +105,7 @@ void ExplainRecorder::Enable(const ExplainConfig& config) {
   ring_capacity_.store(config_.ring_capacity, std::memory_order_relaxed);
   track_skyline_.store(config_.track_skyline, std::memory_order_relaxed);
   run_label_.clear();
+  estimated_.store(false, std::memory_order_relaxed);
   rhs_dims_ = 0;
   dmax_ = 0;
   lhs_.clear();
@@ -170,6 +171,10 @@ void ExplainRecorder::Disable() {
 void ExplainRecorder::SetRunLabel(const std::string& label) {
   std::lock_guard<std::mutex> lock(mu_);
   run_label_ = label;
+}
+
+void ExplainRecorder::SetEstimated(bool estimated) {
+  estimated_.store(estimated, std::memory_order_relaxed);
 }
 
 void ExplainRecorder::SetRhsGeometry(std::size_t dims, int dmax) {
@@ -359,6 +364,7 @@ ExplainSnapshot ExplainRecorder::Snapshot() const {
     std::lock_guard<std::mutex> lock(mu_);
     snapshot.config = config_;
     snapshot.run_label = run_label_;
+    snapshot.estimated = estimated_.load(std::memory_order_relaxed);
     snapshot.rhs_dims = rhs_dims_;
     snapshot.dmax = dmax_;
     snapshot.lhs = lhs_;

@@ -131,6 +131,11 @@ struct ExplainWaterfall {
 struct ExplainSnapshot {
   ExplainConfig config;
   std::string run_label;
+  // True when the recorded run counted against ESTIMATED measures (the
+  // approx provider's weighted sample counts, approx/refine.h) rather
+  // than exact ones — surfaced in the audit document so a decision
+  // trail is never mistaken for exact-count evidence.
+  bool estimated = false;
   std::size_t rhs_dims = 0;  // geometry for decoding ExplainEvent::rhs_index
   int dmax = 0;
   ExplainWaterfall waterfall;
@@ -159,6 +164,10 @@ class ExplainRecorder {
   // Free-form run description shown in the audit document (set by the
   // determination facades: algorithm combination, provider, order, l).
   void SetRunLabel(const std::string& label);
+
+  // Marks the recording as driven by estimated (sampled) counts; see
+  // ExplainSnapshot::estimated. Reset to false by Enable.
+  void SetEstimated(bool estimated);
 
   // Geometry used to decode ExplainEvent::rhs_index; one per run.
   void SetRhsGeometry(std::size_t dims, int dmax);
@@ -213,6 +222,8 @@ class ExplainRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> next_seq_{0};
+
+  std::atomic<bool> estimated_{false};
 
   // Config mirrors readable without the mutex (hot path).
   std::atomic<std::size_t> sample_every_{1};

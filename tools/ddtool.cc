@@ -7,6 +7,13 @@
 //                    [--dmax 10] [--max-pairs 100000] [--top 5]
 //                    [--algo DAP+PAP|DA+PAP|DA+PA] [--order top|mid]
 //                    [--metric attr=levenshtein ...] [--provider scan|grid]
+//                    [--approx] [--sample_target 100000] [--epsilon 0.01]
+//                    [--seed 7] [--no_blocking]
+//                    (sampled + LSH-blocked determination, src/approx:
+//                     counts become estimates with Wilson error bounds,
+//                     refined until the top-l ranking is stable;
+//                     incompatible with --max-pairs/--save-matching/
+//                     --load-matching)
 //                    [--collapse] [--json]
 //                    [--trace_json report.json] [--print_stats]
 //                    (trace_json writes the span-tree + metrics run
@@ -38,6 +45,10 @@
 // any thread count, N=1 forces the sequential paths.
 //   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
 //                    [--dmax 10] [--max-pairs 50000]
+//                    [--approx] [--sample_target 100000] [--seed 7]
+//                    [--no_blocking]  (one shared stratified sample
+//                     serves every candidate rule; utilities print
+//                     with their error bounds)
 //   ddtool append    --rows new.csv --lhs a,b --rhs c [--input base.csv]
 //                    [--batch 16] [--retire 0] [--drift 0.5]
 //                    [--dmax 10] [--metric ...] [--algo ...] [--json]
@@ -92,9 +103,11 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "approx/refine.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -185,6 +198,28 @@ dd::Result<dd::DetermineOptions> DetermineFromFlags(const dd::ArgParser& args) {
   if (args.GetString("order", "top") == "mid") {
     options.order = dd::ProcessingOrder::kMidFirst;
   }
+  return options;
+}
+
+// --approx family shared by determine / discover. The sample seed rides
+// on --seed (also the matching-build sampling seed; approx builds
+// reject --max-pairs so the two uses never collide).
+dd::Result<dd::approx::ApproxOptions> ApproxFromFlags(
+    const dd::ArgParser& args) {
+  dd::approx::ApproxOptions options;
+  DD_ASSIGN_OR_RETURN(std::int64_t target,
+                      args.GetInt("sample_target", 100000));
+  if (target < 1) {
+    return dd::Status::InvalidArgument("--sample_target must be >= 1");
+  }
+  options.sample_target = static_cast<std::uint64_t>(target);
+  DD_ASSIGN_OR_RETURN(options.epsilon, args.GetDouble("epsilon", 0.01));
+  if (options.epsilon < 0) {
+    return dd::Status::InvalidArgument("--epsilon must be >= 0");
+  }
+  DD_ASSIGN_OR_RETURN(std::int64_t seed, args.GetInt("seed", 7));
+  options.seed = static_cast<std::uint64_t>(seed);
+  options.lsh.enabled = !args.Has("no_blocking");
   return options;
 }
 
@@ -404,6 +439,76 @@ dd::Result<dd::MatchingRelation> LoadMatching(const dd::ArgParser& args,
   return dd::BuildMatchingRelation(relation, rule.AllAttributes(), moptions);
 }
 
+// The --approx leg of `ddtool determine`: progressive-refinement
+// determination over the stratified sample instead of the exact
+// matching relation.
+int RunDetermineApprox(const dd::ArgParser& args, const dd::RuleSpec& rule) {
+  if (args.Has("save-matching") || args.Has("load-matching")) {
+    return Fail(dd::Status::InvalidArgument(
+        "--approx never materializes the matching relation; "
+        "--save-matching/--load-matching require an exact run"));
+  }
+  const std::string input = args.GetString("input");
+  if (input.empty()) {
+    return Fail(dd::Status::InvalidArgument("--input (CSV) required"));
+  }
+  auto telemetry = StartTelemetry(args);
+  if (!telemetry.ok()) return Fail(telemetry.status());
+  auto relation = dd::ReadCsvFile(input);
+  if (!relation.ok()) return Fail(relation.status());
+
+  auto moptions = MatchingFromFlags(args);
+  if (!moptions.ok()) return Fail(moptions.status());
+  dd::approx::ApproxDetermineOptions options;
+  auto doptions = DetermineFromFlags(args);
+  if (!doptions.ok()) return Fail(doptions.status());
+  options.determine = *doptions;
+  auto aoptions = ApproxFromFlags(args);
+  if (!aoptions.ok()) return Fail(aoptions.status());
+  options.approx = *aoptions;
+
+  auto result =
+      dd::approx::ApproxDetermineThresholds(*relation, rule, *moptions, options);
+  if (!result.ok()) return Fail(result.status());
+  if (telemetry->sampler != nullptr) telemetry->sampler->Stop();
+  dd::Status trace_status = MaybeWriteTraceReport(
+      args, "ddtool determine --approx " + args.GetString("algo", "DAP+PAP"));
+  if (!trace_status.ok()) return Fail(trace_status);
+  trace_status = MaybeWriteChromeTrace(args);
+  if (!trace_status.ok()) return Fail(trace_status);
+
+  if (args.Has("json")) {
+    std::printf("%s\n", dd::approx::ApproxResultToJson(*result, rule).c_str());
+    if (args.Has("print_stats")) PrintSearchStats(result->determine);
+    return 0;
+  }
+  std::printf(
+      "approx determination: %zu round(s), %s, sample fraction %.4f "
+      "(%llu near + %llu sampled of %llu pairs)%s\n",
+      result->rounds, result->converged ? "converged" : "round cap hit",
+      result->sample_fraction,
+      static_cast<unsigned long long>(result->near_pairs),
+      static_cast<unsigned long long>(result->sampled_pairs),
+      static_cast<unsigned long long>(result->total_pairs),
+      result->exhaustive ? " [exhaustive = exact]" : " [estimated]");
+  std::printf("determined %zu pattern(s) in %.3fs (prior CQ %.3f)\n",
+              result->determine.patterns.size(),
+              result->determine.elapsed_seconds,
+              result->determine.prior_mean_cq);
+  std::printf("%-30s %8s %8s %6s %9s %21s\n", "pattern", "D", "C", "Q",
+              "utility", "utility 95% bounds");
+  for (std::size_t i = 0; i < result->determine.patterns.size(); ++i) {
+    const auto& p = result->determine.patterns[i];
+    const auto& iv = result->intervals[i];
+    std::printf("%-30s %8.4f %8.4f %6.2f %9.4f   [%8.4f, %8.4f]\n",
+                dd::PatternToString(p.pattern).c_str(), p.measures.d,
+                p.measures.confidence, p.measures.quality, p.utility,
+                iv.utility.lo, iv.utility.hi);
+  }
+  if (args.Has("print_stats")) PrintSearchStats(result->determine);
+  return 0;
+}
+
 int RunDetermine(const dd::ArgParser& args) {
   std::vector<std::string> lhs = dd::SplitFlagList(args.GetString("lhs"));
   std::vector<std::string> rhs = dd::SplitFlagList(args.GetString("rhs"));
@@ -411,6 +516,7 @@ int RunDetermine(const dd::ArgParser& args) {
     return Fail(dd::Status::InvalidArgument("--lhs and --rhs required"));
   }
   dd::RuleSpec rule{std::move(lhs), std::move(rhs)};
+  if (args.Has("approx")) return RunDetermineApprox(args, rule);
   auto telemetry = StartTelemetry(args);
   if (!telemetry.ok()) return Fail(telemetry.status());
 
@@ -491,8 +597,30 @@ int RunExplain(const dd::ArgParser& args) {
   auto telemetry = StartTelemetry(args);
   if (!telemetry.ok()) return Fail(telemetry.status());
 
-  dd::Result<dd::MatchingRelation> matching = LoadMatching(args, rule);
-  if (!matching.ok()) return Fail(matching.status());
+  // --approx audits the sampled run instead: the snapshot carries the
+  // "estimated" marker and the waterfall totals come from estimated
+  // counts.
+  const bool approx_mode = args.Has("approx");
+  std::optional<dd::Relation> relation;
+  std::optional<dd::MatchingRelation> matching;
+  if (approx_mode) {
+    if (args.Has("save-matching") || args.Has("load-matching")) {
+      return Fail(dd::Status::InvalidArgument(
+          "--approx never materializes the matching relation; "
+          "--save-matching/--load-matching require an exact run"));
+    }
+    const std::string input = args.GetString("input");
+    if (input.empty()) {
+      return Fail(dd::Status::InvalidArgument("--input (CSV) required"));
+    }
+    auto rel = dd::ReadCsvFile(input);
+    if (!rel.ok()) return Fail(rel.status());
+    relation.emplace(std::move(*rel));
+  } else {
+    auto loaded = LoadMatching(args, rule);
+    if (!loaded.ok()) return Fail(loaded.status());
+    matching.emplace(std::move(*loaded));
+  }
   auto doptions = DetermineFromFlags(args);
   if (!doptions.ok()) return Fail(doptions.status());
 
@@ -512,10 +640,40 @@ int RunExplain(const dd::ArgParser& args) {
 
   dd::obs::ExplainRecorder& recorder = dd::obs::ExplainRecorder::Global();
   recorder.Enable(config);
-  auto result = dd::DetermineThresholds(*matching, rule, *doptions);
+  std::optional<dd::DetermineResult> result;
+  dd::Status run_status = dd::Status::Ok();
+  if (approx_mode) {
+    auto moptions = MatchingFromFlags(args);
+    if (!moptions.ok()) {
+      recorder.Disable();
+      return Fail(moptions.status());
+    }
+    dd::approx::ApproxDetermineOptions approx_options;
+    approx_options.determine = *doptions;
+    auto aoptions = ApproxFromFlags(args);
+    if (!aoptions.ok()) {
+      recorder.Disable();
+      return Fail(aoptions.status());
+    }
+    approx_options.approx = *aoptions;
+    auto approx_result = dd::approx::ApproxDetermineThresholds(
+        *relation, rule, *moptions, approx_options);
+    if (approx_result.ok()) {
+      result.emplace(std::move(approx_result->determine));
+    } else {
+      run_status = approx_result.status();
+    }
+  } else {
+    auto exact = dd::DetermineThresholds(*matching, rule, *doptions);
+    if (exact.ok()) {
+      result.emplace(std::move(*exact));
+    } else {
+      run_status = exact.status();
+    }
+  }
   const dd::obs::ExplainSnapshot snapshot = recorder.Snapshot();
   recorder.Disable();
-  if (!result.ok()) return Fail(result.status());
+  if (!run_status.ok()) return Fail(run_status);
 
   const std::string audit =
       dd::ExplainAuditToJson(snapshot, *result, rule, doptions->utility);
@@ -552,8 +710,13 @@ int RunExplain(const dd::ArgParser& args) {
     std::printf("%s", audit.c_str());
     return 0;
   }
-  std::printf("matching relation: %zu tuples (dmax=%d)\n",
-              matching->num_tuples(), matching->dmax());
+  if (approx_mode) {
+    std::printf("approx run over %zu rows%s\n", relation->num_rows(),
+                snapshot.estimated ? " [estimated counts]" : "");
+  } else {
+    std::printf("matching relation: %zu tuples (dmax=%d)\n",
+                matching->num_tuples(), matching->dmax());
+  }
   std::printf("%s: %" PRIu64 " event(s) recorded, %" PRIu64
               " sampled out, %" PRIu64 " dropped (sample_every=%zu)\n",
               snapshot.run_label.c_str(), snapshot.recorded,
@@ -633,7 +796,16 @@ int RunDiscover(const dd::ArgParser& args) {
   auto moptions = MatchingFromFlags(args);
   if (!moptions.ok()) return Fail(moptions.status());
   options.matching = *moptions;
-  if (options.matching.max_pairs == 0) options.matching.max_pairs = 50000;
+  if (args.Has("approx")) {
+    // The stratified sample owns the pair budget (--sample_target);
+    // --max-pairs would make the build reject below.
+    options.approx = true;
+    auto aoptions = ApproxFromFlags(args);
+    if (!aoptions.ok()) return Fail(aoptions.status());
+    options.approx_options = *aoptions;
+  } else if (options.matching.max_pairs == 0) {
+    options.matching.max_pairs = 50000;
+  }
   auto max_lhs = args.GetInt("max-lhs", 2);
   if (!max_lhs.ok()) return Fail(max_lhs.status());
   options.max_lhs_size = static_cast<std::size_t>(*max_lhs);
@@ -652,12 +824,23 @@ int RunDiscover(const dd::ArgParser& args) {
   if (!trace_status.ok()) return Fail(trace_status);
   std::printf("%zu rule(s):\n", rules->size());
   for (const auto& r : *rules) {
-    std::printf("  [%s] -> [%s]  pattern %s  C=%.3f Q=%.2f utility=%.4f\n",
-                dd::Join(r.rule.lhs, ", ").c_str(),
-                dd::Join(r.rule.rhs, ", ").c_str(),
-                dd::PatternToString(r.best.pattern).c_str(),
-                r.best.measures.confidence, r.best.measures.quality,
-                r.best.utility);
+    if (r.estimated) {
+      std::printf(
+          "  [%s] -> [%s]  pattern %s  C=%.3f Q=%.2f utility~%.4f "
+          "[%.4f, %.4f]\n",
+          dd::Join(r.rule.lhs, ", ").c_str(),
+          dd::Join(r.rule.rhs, ", ").c_str(),
+          dd::PatternToString(r.best.pattern).c_str(),
+          r.best.measures.confidence, r.best.measures.quality, r.best.utility,
+          r.utility.lo, r.utility.hi);
+    } else {
+      std::printf("  [%s] -> [%s]  pattern %s  C=%.3f Q=%.2f utility=%.4f\n",
+                  dd::Join(r.rule.lhs, ", ").c_str(),
+                  dd::Join(r.rule.rhs, ", ").c_str(),
+                  dd::PatternToString(r.best.pattern).c_str(),
+                  r.best.measures.confidence, r.best.measures.quality,
+                  r.best.utility);
+    }
   }
   return 0;
 }
@@ -764,6 +947,12 @@ int PrintFinalState(const dd::MaintenanceEngine& engine, bool watch,
 // batch, then --rows in --batch-row chunks; --retire k deletes the k
 // oldest live tuples with every chunk to exercise the delete path.
 int RunIncremental(const dd::ArgParser& args, bool watch) {
+  if (args.Has("approx")) {
+    return Fail(dd::Status::InvalidArgument(
+        "--approx is not supported for append/watch: incremental "
+        "maintenance needs the exact matching relation it maintains "
+        "(run determine or discover with --approx instead)"));
+  }
   const std::string rows_path = args.GetString("rows");
   if (rows_path.empty()) {
     return Fail(
@@ -850,6 +1039,12 @@ int RunIncremental(const dd::ArgParser& args, bool watch) {
 // /metrics port and the sampler) stays live the whole run — this is
 // the subcommand meant to sit behind a scrape target.
 int RunServe(const dd::ArgParser& args) {
+  if (args.Has("approx")) {
+    return Fail(dd::Status::InvalidArgument(
+        "--approx is not supported for serve: incremental maintenance "
+        "needs the exact matching relation it maintains (run determine "
+        "or discover with --approx instead)"));
+  }
   const std::string input = args.GetString("input");
   if (input.empty()) {
     return Fail(dd::Status::InvalidArgument(
