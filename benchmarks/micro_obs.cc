@@ -18,6 +18,7 @@
 #include "benchmarks/bench_util.h"
 #include "common/parallel.h"
 #include "core/determiner.h"
+#include "obs/diag/flight_recorder.h"
 #include "obs/explain/recorder.h"
 #include "obs/pool_stats.h"
 #include "obs/export/prometheus.h"
@@ -349,6 +350,84 @@ int ReportPoolStatsOverhead() {
   return disabled_ns <= 2.0 ? 0 : 1;
 }
 
+// Flight-recorder record path with recording on: clock read + 56-byte
+// ring slot write + release store.
+void BM_FlightRecordEnabled(benchmark::State& state) {
+  dd::obs::diag::FlightRecorder::Enable(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    dd::obs::diag::FlightRecord(dd::obs::diag::EventType::kCustom, "bench",
+                                ++i, 0);
+  }
+  if (state.thread_index() == 0) dd::obs::diag::FlightRecorder::Disable();
+}
+BENCHMARK(BM_FlightRecordEnabled)->Threads(1)->Threads(4);
+
+// The always-on gate every instrumented call site pays when diagnostics
+// are off: one relaxed load and a branch.
+void BM_FlightRecordDisabled(benchmark::State& state) {
+  dd::obs::diag::FlightRecorder::Disable();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    dd::obs::diag::FlightRecord(dd::obs::diag::EventType::kCustom, "bench",
+                                ++i, 0);
+  }
+  benchmark::DoNotOptimize(i);
+}
+BENCHMARK(BM_FlightRecordDisabled);
+
+// The ISSUE acceptance numbers for the flight recorder: <= 50 ns per
+// recorded event, <= 2 ns for the disabled gate. Hard-gated like the
+// pool-observer budget so CI fails on regression, and reported as a
+// BENCH_JSON line so the perf harness trends it.
+int ReportFlightRecorderOverhead() {
+  using dd::obs::diag::EventType;
+  using dd::obs::diag::FlightRecord;
+  using dd::obs::diag::FlightRecorder;
+
+  FlightRecorder::Disable();
+  constexpr std::uint64_t kDisabledIters = 1 << 25;
+  std::uint64_t i = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::uint64_t n = 0; n < kDisabledIters; ++n) {
+    FlightRecord(EventType::kCustom, "gate", ++i, 0);
+    benchmark::DoNotOptimize(i);
+  }
+  const double disabled_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      static_cast<double>(kDisabledIters);
+
+  FlightRecorder::Enable(1024);
+  FlightRecorder::ResetForTest();
+  constexpr std::uint64_t kEnabledIters = 1 << 22;
+  start = std::chrono::steady_clock::now();
+  for (std::uint64_t n = 0; n < kEnabledIters; ++n) {
+    FlightRecord(EventType::kCustom, "record", n, 0);
+  }
+  const double enabled_ns =
+      std::chrono::duration<double, std::nano>(
+          std::chrono::steady_clock::now() - start)
+          .count() /
+      static_cast<double>(kEnabledIters);
+  const std::uint64_t recorded = FlightRecorder::TotalRecorded();
+  FlightRecorder::Disable();
+
+  std::printf("\nflight recorder: record %.1f ns (budget 50 ns), "
+              "disabled gate %.3f ns (budget 2 ns), recorded %llu\n",
+              enabled_ns, disabled_ns,
+              static_cast<unsigned long long>(recorded));
+  std::printf(
+      "BENCH_JSON {\"bench\": \"micro_obs_flightrec\", \"iters\": %llu, "
+      "\"record_ns\": %.3f, \"disabled_gate_ns\": %.3f, "
+      "\"record_budget_ns\": 50.0, \"gate_budget_ns\": 2.0}\n",
+      static_cast<unsigned long long>(kEnabledIters), enabled_ns, disabled_ns);
+  std::fflush(stdout);
+  if (recorded != kEnabledIters) return 1;  // Lost events: broken ring.
+  return (enabled_ns <= 50.0 && disabled_ns <= 2.0) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -358,5 +437,8 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const int explain_rc = ReportExplainOverhead();
   const int pool_rc = ReportPoolStatsOverhead();
-  return explain_rc != 0 ? explain_rc : pool_rc;
+  const int flight_rc = ReportFlightRecorderOverhead();
+  if (explain_rc != 0) return explain_rc;
+  if (pool_rc != 0) return pool_rc;
+  return flight_rc;
 }

@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "core/expected_utility.h"
 #include "core/result_io.h"
+#include "obs/diag/flight_recorder.h"
 #include "obs/explain/recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -178,6 +179,8 @@ Result<ApproxDetermineResult> ApproxDetermineThresholds(
     const std::size_t search_l = sample->exhaustive() ? top_l : top_l + 1;
     DD_ASSIGN_OR_RETURN(result, RunRound(*sample, rule, options, search_l));
     result.rounds = rounds;
+    obs::diag::FlightRecord(obs::diag::EventType::kApproxRound, "refine",
+                            rounds, sample->tail_sampled());
     if (sample->exhaustive()) {
       result.converged = true;
       break;

@@ -57,6 +57,15 @@ std::atomic<PoolObserver*> g_pool_observer{nullptr};
 // the collector can join them back to their invocation.
 std::atomic<std::uint64_t> g_invocation_seq{0};
 
+// Watchdog heartbeat hook (SetPoolHeartbeatFn). Trivially destructible
+// on purpose; fired only around top-level chunks.
+std::atomic<PoolHeartbeatFn> g_pool_heartbeat{nullptr};
+
+inline void PoolHeartbeat(bool begin) {
+  const PoolHeartbeatFn fn = g_pool_heartbeat.load(std::memory_order_acquire);
+  if (fn != nullptr) fn(begin);
+}
+
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -86,6 +95,7 @@ void ExecuteChunk(PoolTask& task, std::size_t c, bool caller) {
   const std::size_t end = std::min(task.count, begin + task.per_chunk);
   const bool was_in_chunk = t_in_chunk;
   t_in_chunk = true;
+  if (!was_in_chunk) PoolHeartbeat(/*begin=*/true);
   if (task.observer != nullptr) {
     PoolChunkEvent event;
     event.phase = task.phase;
@@ -101,6 +111,7 @@ void ExecuteChunk(PoolTask& task, std::size_t c, bool caller) {
   } else {
     (*task.fn)(c, begin, end);
   }
+  if (!was_in_chunk) PoolHeartbeat(/*begin=*/false);
   t_in_chunk = was_in_chunk;
   if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.chunks) {
     // Synchronize with the caller's wait; the lock pairs the final
@@ -211,6 +222,10 @@ PoolObserver* GetPoolObserver() {
   return g_pool_observer.load(std::memory_order_acquire);
 }
 
+PoolHeartbeatFn SetPoolHeartbeatFn(PoolHeartbeatFn fn) {
+  return g_pool_heartbeat.exchange(fn, std::memory_order_acq_rel);
+}
+
 void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t, std::size_t,
                                           std::size_t)>& fn) {
@@ -238,7 +253,9 @@ void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
       event.caller = true;
       event.start_ns = NowNs();
       t_in_chunk = true;
+      PoolHeartbeat(/*begin=*/true);
       fn(0, 0, count);
+      PoolHeartbeat(/*begin=*/false);
       t_in_chunk = false;
       event.end_ns = NowNs();
       observer->OnChunk(event);
@@ -255,7 +272,9 @@ void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
     }
     const bool was_in_chunk = t_in_chunk;
     t_in_chunk = true;
+    if (!was_in_chunk) PoolHeartbeat(/*begin=*/true);
     fn(0, 0, count);
+    if (!was_in_chunk) PoolHeartbeat(/*begin=*/false);
     t_in_chunk = was_in_chunk;
     return;
   }

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
+#include "obs/diag/flight_recorder.h"
 #include "obs/explain/recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -89,6 +90,8 @@ Result<DetermineResult> DetermineWithProvider(
   result.elapsed_seconds = timer.ElapsedSeconds();
   result.provider_stats = provider->stats();
   PublishDetermineMetrics(result.stats, result.provider_stats);
+  obs::diag::FlightRecord(obs::diag::EventType::kDetermined, "determine",
+                          result.patterns.size(), provider->total());
   DD_LOG(INFO) << LhsAlgorithmName(options.lhs_algorithm) << "+"
                << RhsAlgorithmName(options.rhs_algorithm) << " determined "
                << result.patterns.size() << " pattern(s) over |M|="

@@ -6,6 +6,8 @@
 #include "common/logging.h"
 #include "core/expected_utility.h"
 #include "core/measures.h"
+#include "obs/diag/flight_recorder.h"
+#include "obs/diag/watchdog.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -43,6 +45,11 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
     const std::vector<std::vector<std::string>>& inserts,
     const std::vector<std::uint32_t>& deletes) {
   obs::TraceSpan span("incr/maintain");
+  // Watchdog coverage: an ApplyBatch that wedges (matching rebuild,
+  // re-determination) past the stall timeout trips a stall dump.
+  static obs::diag::Heartbeat* heartbeat =
+      obs::diag::RegisterHeartbeat("incr.apply_batch");
+  obs::diag::ScopedHeartbeat scoped_heartbeat(heartbeat);
   static obs::Counter& skipped_counter =
       obs::MetricsRegistry::Global().GetCounter(
           "incr.redeterminations_skipped");
@@ -71,6 +78,8 @@ Result<BatchOutcome> MaintenanceEngine::ApplyBatch(
   outcome.matching_added = delta.num_added();
   outcome.matching_removed = delta.num_removed();
   batch_gauge.Set(static_cast<double>(outcome.batch_seq));
+  obs::diag::FlightRecord(obs::diag::EventType::kBatch, "apply_batch",
+                          outcome.batch_seq, inserts.size());
   live_gauge.Set(static_cast<double>(builder_->store().num_live()));
   matching_gauge.Set(static_cast<double>(builder_->matching().num_tuples()));
   // Byte-size accounting after every batch: the evolving structures are
@@ -151,6 +160,8 @@ void MaintenanceEngine::Redetermine(UpdateReason reason,
                                      da, &stats);
   }
   PublishDetermineMetrics(stats, provider_->stats());
+  obs::diag::FlightRecord(obs::diag::EventType::kDetermined, "redetermine",
+                          patterns.size(), batch_seq_);
   redetermine_counter.Increment();
   ++redeterminations_;
   outcome->redetermined = true;

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/diag/crash_dump.h"
 #include "obs/export/prometheus.h"
 #include "obs/resource.h"
 #include "obs/log.h"
@@ -151,10 +152,16 @@ void MetricsHttpServer::HandleConnection(int fd) {
       UpdateRssGauges();
       response = HttpResponse(
           "200 OK",
-          MetricsSnapshotToPrometheus(MetricsRegistry::Global().Snapshot()),
+          BuildInfoPrometheusLine() +
+              MetricsSnapshotToPrometheus(MetricsRegistry::Global().Snapshot()),
           "text/plain; version=0.0.4; charset=utf-8");
     } else if (path == "/healthz") {
       response = HttpResponse("200 OK", "ok\n", "text/plain");
+    } else if (path == "/debug/dump") {
+      // Live diagnostic dump: same format as a crash dump, captured
+      // from healthy context with all-thread stacks.
+      response = HttpResponse("200 OK", diag::CaptureLiveDump("live"),
+                              "text/plain");
     } else {
       response = HttpResponse("404 Not Found", "not found\n", "text/plain");
     }

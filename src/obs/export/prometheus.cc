@@ -1,5 +1,6 @@
 #include "obs/export/prometheus.h"
 
+#include "common/build_info.h"
 #include "common/string_util.h"
 
 namespace dd::obs {
@@ -59,6 +60,35 @@ std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot) {
     out += StrFormat("%s_count %llu\n", name.c_str(),
                      static_cast<unsigned long long>(h.count));
   }
+  return out;
+}
+
+namespace {
+
+// Label values allow most characters; escape the three the exposition
+// format reserves.
+std::string EscapeLabelValue(const char* value) {
+  std::string out;
+  for (const char* p = value; *p != '\0'; ++p) {
+    if (*p == '\\' || *p == '"') out += '\\';
+    if (*p == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += *p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BuildInfoPrometheusLine() {
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "# TYPE build_info gauge\n";
+  out += "build_info{version=\"" + EscapeLabelValue(info.version) +
+         "\",revision=\"" + EscapeLabelValue(info.git_hash) +
+         "\",build_type=\"" + EscapeLabelValue(info.build_type) +
+         "\",compiler=\"" + EscapeLabelValue(info.compiler) + "\"} 1\n";
   return out;
 }
 

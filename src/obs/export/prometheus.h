@@ -27,6 +27,13 @@ std::string SanitizeMetricName(const std::string& name);
 // the implicit overflow bucket as le="+Inf".
 std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot);
 
+// Constant `build_info` gauge in the conventional value-1-with-labels
+// encoding (version / revision / build type / compiler as labels). The
+// HTTP server prepends this to every /metrics response; it is kept out
+// of MetricsSnapshotToPrometheus so snapshot rendering stays a pure
+// function of the registry.
+std::string BuildInfoPrometheusLine();
+
 }  // namespace dd::obs
 
 #endif  // DD_OBS_EXPORT_PROMETHEUS_H_

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "obs/diag/crash_dump.h"
 #include "obs/json_util.h"
 #include "obs/log.h"
 #include "obs/resource.h"
@@ -173,7 +174,10 @@ void MetricsSampler::Stop() {
   }
   wake_.notify_all();
   if (thread_.joinable()) thread_.join();
-  SampleOnce();  // Capture the end state of short runs.
+  // Flush the end state as a FULL frame: the series tail stays
+  // decodable on its own even if earlier frames are truncated away,
+  // and no samples newer than the last periodic tick are lost.
+  SampleOnce(/*force_full=*/true);
   if (series_ != nullptr) {
     std::fclose(series_);
     series_ = nullptr;
@@ -193,7 +197,7 @@ void MetricsSampler::Loop() {
   }
 }
 
-void MetricsSampler::SampleOnce() {
+void MetricsSampler::SampleOnce(bool force_full) {
   // Refresh the process RSS gauges first so every frame carries a
   // reading taken at sample time, not at the last structure rebuild.
   UpdateRssGauges();
@@ -207,7 +211,8 @@ void MetricsSampler::SampleOnce() {
   SampleFrame frame;
   frame.seq = seq_++;
   frame.t_ms = t_ms;
-  const bool need_full = ring_.empty() || !SameSchema(now, last_full_) ||
+  const bool need_full = force_full || ring_.empty() ||
+                         !SameSchema(now, last_full_) ||
                          since_full_ + 1 >= options_.full_every;
   if (need_full) {
     frame.full = true;
@@ -232,11 +237,16 @@ void MetricsSampler::SampleOnce() {
     ++since_full_;
   }
   last_view_ = std::move(now);
-  if (series_ != nullptr) {
+  if (series_ != nullptr || diag::DiagnosticsEnabled()) {
     const std::string line = SampleFrameToJsonl(frame, options_.run_id);
-    std::fputs(line.c_str(), series_);
-    std::fputc('\n', series_);
-    std::fflush(series_);
+    if (series_ != nullptr) {
+      std::fputs(line.c_str(), series_);
+      std::fputc('\n', series_);
+      std::fflush(series_);
+    }
+    // Crash dumps carry the last few frames (`--- ftdc` section) even
+    // when no series file is configured.
+    diag::NoteFtdcFrame(line);
   }
   ring_.push_back(std::move(frame));
   TrimRingLocked();

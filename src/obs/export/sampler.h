@@ -97,14 +97,17 @@ class MetricsSampler {
   MetricsSampler(const MetricsSampler&) = delete;
   MetricsSampler& operator=(const MetricsSampler&) = delete;
 
-  // Wakes the thread, joins it, takes one final sample (so short runs
-  // always capture their end state), and closes the series file.
-  // Idempotent.
+  // Wakes the thread, joins it, takes one final FULL sample (so short
+  // runs always capture their end state and readers of a truncated
+  // series tail never lose samples newer than the last full tick), and
+  // closes the series file. Idempotent.
   void Stop();
 
   // Takes one sample immediately on the calling thread. Used by the
   // background thread and by tests that want deterministic frames.
-  void SampleOnce();
+  // `force_full` emits a self-contained full frame regardless of the
+  // full_every cadence — the clean-shutdown flush path.
+  void SampleOnce(bool force_full = false);
 
   std::uint64_t frames() const;
   // Copy of the in-memory ring, oldest first; always decodable (starts

@@ -61,7 +61,20 @@ const char* LogLevelName(LogLevel level) {
 }
 
 bool ParseLogLevel(const std::string& text, LogLevel* level) {
-  const std::string lower = ToLower(text);
+  // Tolerate surrounding whitespace: "DD_LOG_LEVEL=info " from a shell
+  // export or an .env file should not silently fall back to the
+  // default.
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) {
+    --end;
+  }
+  const std::string lower = ToLower(text.substr(begin, end - begin));
   if (lower == "verbose" || lower == "debug" || lower == "0") {
     *level = LogLevel::kVerbose;
   } else if (lower == "info" || lower == "1") {

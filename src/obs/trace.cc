@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/diag/flight_recorder.h"
+
 namespace dd::obs {
 
 thread_local Tracer::Node* Tracer::tl_current_ = nullptr;
@@ -93,6 +95,15 @@ void Tracer::Reset() {
 }
 
 TraceSpan::TraceSpan(const char* name) {
+  // Spans mirror into the diag flight recorder independently of the
+  // tracer toggle: crash dumps want the last phases even when the
+  // aggregating tracer is off.
+  if (diag::FlightRecorderEnabled()) {
+    diag::FlightRecord(diag::EventType::kSpanBegin, name);
+    name_ = name;
+    flight_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
   Tracer& tracer = Tracer::Global();
   if (!tracer.enabled()) return;
   const std::uint64_t generation =
@@ -110,6 +121,15 @@ TraceSpan::TraceSpan(const char* name) {
 }
 
 TraceSpan::~TraceSpan() {
+  if (flight_) {
+    const auto flight_elapsed = std::chrono::steady_clock::now() - start_;
+    diag::FlightRecord(
+        diag::EventType::kSpanEnd, name_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                flight_elapsed)
+                .count()));
+  }
   if (node_ == nullptr) return;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   node_->count.fetch_add(1, std::memory_order_relaxed);

@@ -105,6 +105,11 @@ class TraceSpan {
   Tracer::Node* node_ = nullptr;  // nullptr when tracing is disabled.
   Tracer::Node* parent_ = nullptr;
   std::chrono::steady_clock::time_point start_;
+  // Flight-recorder mirror (diag): set when the span recorded a begin
+  // event, so the end event pairs up even if the recorder toggles
+  // mid-span or the tracer itself is disabled.
+  const char* name_ = nullptr;
+  bool flight_ = false;
 };
 
 }  // namespace dd::obs

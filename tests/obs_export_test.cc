@@ -425,16 +425,18 @@ TEST(Sampler, DeltaFramesAreSparse) {
   ASSERT_FALSE(last.full);
   ASSERT_EQ(last.counter_deltas.size(), 1u);
   EXPECT_EQ(last.counter_deltas[0].second, 2);
-  // Every tick refreshes the process RSS gauges (DESIGN.md §13), so a
-  // delta frame may legitimately carry mem.rss_* movement when the
-  // process footprint shifts between samples; nothing else may appear.
+  // Every tick refreshes the process RSS and lifetime gauges
+  // (DESIGN.md §13), so a delta frame may legitimately carry mem.rss_*
+  // movement when the process footprint shifts between samples and
+  // process.* movement as uptime advances; nothing else may appear.
   ASSERT_GE(ring.size(), 2u);
   const obs::SampleFrame& reference = ring[ring.size() - 2];
   ASSERT_TRUE(reference.full);
   for (const auto& [index, value] : last.gauge_values) {
     ASSERT_LT(index, reference.view.gauges.size());
     const std::string& name = reference.view.gauges[index].first;
-    EXPECT_EQ(name.rfind("mem.rss", 0), 0u)
+    EXPECT_TRUE(name.rfind("mem.rss", 0) == 0 ||
+                name.rfind("process.", 0) == 0)
         << "unexpected gauge delta: " << name << " = " << value;
   }
   (*sampler)->Stop();

@@ -108,6 +108,7 @@
 #include <vector>
 
 #include "approx/refine.h"
+#include "common/build_info.h"
 #include "common/flags.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -122,11 +123,17 @@
 #include "discover/rule_explorer.h"
 #include "matching/builder.h"
 #include "matching/serialization.h"
+#include "obs/diag/crash_dump.h"
+#include "obs/diag/dump_reader.h"
+#include "obs/diag/flight_recorder.h"
+#include "obs/diag/watchdog.h"
 #include "obs/explain/audit.h"
 #include "obs/explain/recorder.h"
 #include "obs/export/chrome_trace.h"
 #include "obs/export/http_server.h"
 #include "obs/export/sampler.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/pool_stats.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -137,8 +144,9 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ddtool "
-      "<generate|determine|explain|detect|discover|append|watch|serve> "
+      "<generate|determine|explain|detect|discover|append|watch|serve|diag> "
       "[flags]\n"
+      "       ddtool --version\n"
       "see the header of tools/ddtool.cc or README.md for flags\n");
   return 1;
 }
@@ -992,10 +1000,18 @@ int RunIncremental(const dd::ArgParser& args, bool watch) {
 
   const bool json = args.Has("json");
   FeedPrinter printer(json, telemetry->run_id);
+  // The heartbeat is armed only while a batch is being applied: the
+  // feed loop legitimately idles between batches, and an armed-but-idle
+  // heartbeat would read as a stall to the watchdog.
+  static dd::obs::diag::Heartbeat* feed_heartbeat =
+      dd::obs::diag::RegisterHeartbeat("feed.loop");
   auto feed = [&](const std::vector<std::vector<std::string>>& inserts,
                   const std::vector<std::uint32_t>& deletes) -> dd::Status {
+    dd::obs::diag::ScopedHeartbeat scoped_heartbeat(feed_heartbeat);
     auto outcome = engine->ApplyBatch(inserts, deletes);
     if (!outcome.ok()) return outcome.status();
+    dd::obs::diag::FlightRecord(dd::obs::diag::EventType::kServe, "feed_batch",
+                                outcome->batch_seq, inserts.size());
     if (watch) printer.Print(*engine, *outcome, inserts.size(), deletes.size());
     return dd::Status::Ok();
   };
@@ -1067,10 +1083,17 @@ int RunServe(const dd::ArgParser& args) {
 
   const bool json = args.Has("json");
   FeedPrinter printer(json, telemetry->run_id);
+  // Armed only while applying: serve blocks on stdin indefinitely
+  // between batches, which must not look like a stall.
+  static dd::obs::diag::Heartbeat* serve_heartbeat =
+      dd::obs::diag::RegisterHeartbeat("serve.loop");
   auto apply = [&](const std::vector<std::vector<std::string>>& inserts)
       -> dd::Status {
+    dd::obs::diag::ScopedHeartbeat scoped_heartbeat(serve_heartbeat);
     auto outcome = engine->ApplyBatch(inserts, {});
     if (!outcome.ok()) return outcome.status();
+    dd::obs::diag::FlightRecord(dd::obs::diag::EventType::kServe, "serve_batch",
+                                outcome->batch_seq, inserts.size());
     printer.Print(*engine, *outcome, inserts.size(), 0);
     return dd::Status::Ok();
   };
@@ -1090,23 +1113,39 @@ int RunServe(const dd::ArgParser& args) {
   line_options.has_header = false;
   std::vector<std::vector<std::string>> pending;
   std::string line;
+  std::uint64_t line_number = 0;
+  // A malformed stdin row (unparseable CSV, wrong column count) must
+  // not kill a long-running daemon, and must not vanish silently
+  // either: log a structured warning naming the line, count it, and
+  // keep serving.
+  static dd::obs::Counter& rejected_counter =
+      dd::obs::MetricsRegistry::Global().GetCounter("serve.rows_rejected");
+  auto reject = [&](const std::string& why) {
+    rejected_counter.Increment();
+    DD_LOG(WARN) << "serve: rejected stdin line " << line_number << ": "
+                 << why;
+  };
   char buf[4096];
   while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
     line += buf;
     if (!line.empty() && line.back() != '\n') continue;  // Long line.
+    ++line_number;
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
     }
     if (!line.empty()) {
       auto row = dd::ParseCsv(line, line_options);
-      if (!row.ok()) return Fail(row.status());
-      for (std::size_t r = 0; r < row->num_rows(); ++r) {
-        if (row->schema().num_attributes() != columns) {
-          return Fail(dd::Status::InvalidArgument(dd::StrFormat(
-              "stdin row has %zu fields, schema has %zu",
-              row->schema().num_attributes(), columns)));
+      if (!row.ok()) {
+        reject(row.status().ToString());
+      } else {
+        for (std::size_t r = 0; r < row->num_rows(); ++r) {
+          if (row->schema().num_attributes() != columns) {
+            reject(dd::StrFormat("row has %zu fields, schema has %zu",
+                                 row->schema().num_attributes(), columns));
+            continue;
+          }
+          pending.push_back(row->row(r));
         }
-        pending.push_back(row->row(r));
       }
     }
     line.clear();
@@ -1130,11 +1169,67 @@ int RunServe(const dd::ArgParser& args) {
   return PrintFinalState(*engine, /*watch=*/true, json);
 }
 
+// Offline reader for .dddump files (crash, stall, on-demand, or live
+// dumps — they share one format). Parses, symbolizes against the
+// modules loaded in this process, and pretty-prints. Exit 0 only when
+// the dump is complete and carries at least one backtrace frame — the
+// contract the crash-injection smoke test asserts.
+int RunDiag(const dd::ArgParser& args) {
+  std::string path = args.GetString("input");
+  if (path.empty() && !args.positional().empty()) {
+    path = args.positional().front();
+  }
+  if (path.empty()) {
+    return Fail(dd::Status::InvalidArgument(
+        "usage: ddtool diag <dump.dddump> [--json] [--no_symbolize]"));
+  }
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Fail(dd::Status::IoError("cannot open dump file: " + path));
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) text.append(buf, n);
+  std::fclose(file);
+
+  dd::obs::diag::DiagDump dump;
+  std::string error;
+  if (!dd::obs::diag::ParseDiagDump(text, &dump, &error)) {
+    return Fail(dd::Status::InvalidArgument(path + ": " + error));
+  }
+  if (!args.Has("no_symbolize")) dd::obs::diag::SymbolizeDump(&dump);
+
+  if (args.Has("json")) {
+    std::printf("%s\n", dd::obs::diag::DiagDumpToJson(dump).c_str());
+  } else {
+    std::fputs(dd::obs::diag::DiagDumpToText(dump).c_str(), stdout);
+  }
+  // Machine-greppable summary on stderr in both modes, so scripts can
+  // assert on it without parsing the full report.
+  std::fprintf(stderr, "backtrace frames: %zu\n", dump.TotalFrames());
+  std::fprintf(stderr, "flight recorder events: %zu\n",
+               dump.flight_events.size());
+  if (!dump.complete) {
+    std::fprintf(stderr, "ddtool diag: dump is truncated (no --- end)\n");
+    return 1;
+  }
+  if (dump.TotalFrames() == 0) {
+    std::fprintf(stderr, "ddtool diag: dump has no backtrace frames\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "--version" || command == "version") {
+    std::fputs(dd::BuildInfoSummary().c_str(), stdout);
+    return 0;
+  }
   dd::ArgParser args(argc, argv, 2);
   // --threads applies to every subcommand: it sets the process-wide
   // DefaultThreads() that the matching build, the providers, and the
@@ -1157,6 +1252,26 @@ int main(int argc, char** argv) {
       args.Has("series")) {
     dd::obs::PoolStatsCollector::Global().Enable();
   }
+  // --diag_dir arms crash/stall diagnostics for any subcommand: fatal
+  // signal handlers, the watchdog, the flight recorder, and SIGUSR2
+  // on-demand dumps, all writing .dddump files into the directory.
+  if (args.Has("diag_dir")) {
+    dd::obs::diag::DiagOptions diag_options;
+    diag_options.dir = args.GetString("diag_dir");
+    if (diag_options.dir.empty()) {
+      return Fail(dd::Status::InvalidArgument("--diag_dir needs a directory"));
+    }
+    auto stall = args.GetInt("stall_timeout_ms", 30000);
+    if (!stall.ok()) return Fail(stall.status());
+    if (*stall < 1) {
+      return Fail(dd::Status::InvalidArgument("--stall_timeout_ms must be >= 1"));
+    }
+    diag_options.stall_timeout_ms = static_cast<int>(*stall);
+    if (!dd::obs::diag::EnableDiagnostics(diag_options)) {
+      return Fail(dd::Status::IoError("cannot enable diagnostics in " +
+                                      diag_options.dir));
+    }
+  }
   if (command == "generate") return RunGenerate(args);
   if (command == "determine") return RunDetermine(args);
   if (command == "explain") return RunExplain(args);
@@ -1165,5 +1280,6 @@ int main(int argc, char** argv) {
   if (command == "append") return RunIncremental(args, /*watch=*/false);
   if (command == "watch") return RunIncremental(args, /*watch=*/true);
   if (command == "serve") return RunServe(args);
+  if (command == "diag") return RunDiag(args);
   return Usage();
 }
