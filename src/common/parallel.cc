@@ -43,6 +43,10 @@ std::atomic<std::size_t> g_default_threads{0};
 // caller); nested ParallelFor calls run inline when it is set.
 thread_local bool t_in_chunk = false;
 
+// Phase label of the top-level chunk this thread is executing
+// (CurrentPoolPhase). Nested chunks do not overwrite it.
+thread_local const char* t_phase = nullptr;
+
 // Cleared when the pool singleton is destroyed so late ParallelFor
 // calls (static destruction order) degrade to inline execution instead
 // of touching a dead pool. Trivially destructible on purpose.
@@ -95,7 +99,10 @@ void ExecuteChunk(PoolTask& task, std::size_t c, bool caller) {
   const std::size_t end = std::min(task.count, begin + task.per_chunk);
   const bool was_in_chunk = t_in_chunk;
   t_in_chunk = true;
-  if (!was_in_chunk) PoolHeartbeat(/*begin=*/true);
+  if (!was_in_chunk) {
+    PoolHeartbeat(/*begin=*/true);
+    t_phase = task.phase;
+  }
   if (task.observer != nullptr) {
     PoolChunkEvent event;
     event.phase = task.phase;
@@ -111,7 +118,10 @@ void ExecuteChunk(PoolTask& task, std::size_t c, bool caller) {
   } else {
     (*task.fn)(c, begin, end);
   }
-  if (!was_in_chunk) PoolHeartbeat(/*begin=*/false);
+  if (!was_in_chunk) {
+    t_phase = nullptr;
+    PoolHeartbeat(/*begin=*/false);
+  }
   t_in_chunk = was_in_chunk;
   if (task.done.fetch_add(1, std::memory_order_acq_rel) + 1 == task.chunks) {
     // Synchronize with the caller's wait; the lock pairs the final
@@ -214,6 +224,8 @@ std::size_t EffectiveChunks(std::size_t count, std::size_t threads) {
 
 bool InParallelChunk() { return t_in_chunk; }
 
+const char* CurrentPoolPhase() { return t_phase; }
+
 PoolObserver* SetPoolObserver(PoolObserver* observer) {
   return g_pool_observer.exchange(observer, std::memory_order_acq_rel);
 }
@@ -254,7 +266,9 @@ void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
       event.start_ns = NowNs();
       t_in_chunk = true;
       PoolHeartbeat(/*begin=*/true);
+      t_phase = phase;
       fn(0, 0, count);
+      t_phase = nullptr;
       PoolHeartbeat(/*begin=*/false);
       t_in_chunk = false;
       event.end_ns = NowNs();
@@ -272,9 +286,15 @@ void ParallelFor(const char* phase, std::size_t count, std::size_t threads,
     }
     const bool was_in_chunk = t_in_chunk;
     t_in_chunk = true;
-    if (!was_in_chunk) PoolHeartbeat(/*begin=*/true);
+    if (!was_in_chunk) {
+      PoolHeartbeat(/*begin=*/true);
+      t_phase = phase;
+    }
     fn(0, 0, count);
-    if (!was_in_chunk) PoolHeartbeat(/*begin=*/false);
+    if (!was_in_chunk) {
+      t_phase = nullptr;
+      PoolHeartbeat(/*begin=*/false);
+    }
     t_in_chunk = was_in_chunk;
     return;
   }

@@ -68,6 +68,15 @@ std::size_t EffectiveChunks(std::size_t count, std::size_t threads);
 // observe this and run inline.
 bool InParallelChunk();
 
+// Static-storage phase label of the ParallelFor invocation the calling
+// thread is currently executing a chunk of, or nullptr outside any
+// chunk. Nested (inline) ParallelFor calls keep the outermost label —
+// it names the phase that owns the thread's time. Published with plain
+// thread-local stores, so it is async-signal-safe to read from a
+// handler on the same thread; the sampling profiler (src/obs/prof)
+// tags samples with it so profiles slice per pool phase.
+const char* CurrentPoolPhase();
+
 // ---------------------------------------------------------------------
 // Pool observation hook. dd_common cannot depend on the metrics/trace
 // layer (dd_obs links dd_common), so the pool exposes a raw observer

@@ -1,13 +1,11 @@
 #include "obs/diag/dump_reader.h"
 
-#include <cxxabi.h>
-#include <dlfcn.h>
-
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <sstream>
+
+#include "obs/diag/symbolize.h"
 
 namespace dd::obs::diag {
 
@@ -43,52 +41,6 @@ std::vector<std::string> SplitWs(const std::string& line) {
   std::string tok;
   while (in >> tok) out.push_back(tok);
   return out;
-}
-
-// "7f3a12000000-7f3a12200000 r-xp 00020000 08:01 123 /usr/lib/x.so"
-bool ParseMapsLine(const std::string& line, DiagModule* mod) {
-  const auto toks = SplitWs(line);
-  if (toks.size() < 5) return false;
-  const std::size_t dash = toks[0].find('-');
-  if (dash == std::string::npos) return false;
-  mod->start = ParseHex(toks[0].substr(0, dash));
-  mod->end = ParseHex(toks[0].substr(dash + 1));
-  mod->exec = toks[1].size() >= 3 && toks[1][2] == 'x';
-  mod->file_offset = ParseHex(toks[2]);
-  mod->path = toks.size() >= 6 ? toks[5] : "";
-  return true;
-}
-
-// Load bias of the module containing `pc` (start of its lowest mapping
-// of the same path, minus that mapping's file offset).
-const DiagModule* FindModule(const std::vector<DiagModule>& modules,
-                             std::uint64_t pc) {
-  for (const DiagModule& mod : modules) {
-    if (pc >= mod.start && pc < mod.end) return &mod;
-  }
-  return nullptr;
-}
-
-std::uint64_t ModuleBias(const std::vector<DiagModule>& modules,
-                         const std::string& path) {
-  std::uint64_t bias = UINT64_MAX;
-  for (const DiagModule& mod : modules) {
-    if (mod.path != path) continue;
-    const std::uint64_t b = mod.start - mod.file_offset;
-    if (b < bias) bias = b;
-  }
-  return bias == UINT64_MAX ? 0 : bias;
-}
-
-std::vector<DiagModule> OwnModules() {
-  std::vector<DiagModule> modules;
-  std::ifstream maps("/proc/self/maps");
-  std::string line;
-  while (std::getline(maps, line)) {
-    DiagModule mod;
-    if (ParseMapsLine(line, &mod)) modules.push_back(mod);
-  }
-  return modules;
 }
 
 void AppendJsonEscaped(std::string& out, const std::string& s) {
@@ -280,40 +232,13 @@ bool ParseDiagDump(const std::string& text, DiagDump* out,
 }
 
 void SymbolizeDump(DiagDump* dump) {
-  const std::vector<DiagModule> own = OwnModules();
+  const std::vector<DiagModule> own = SelfModules();
   for (DiagBacktrace& bt : dump->backtraces) {
     for (DiagFrame& frame : bt.frames) {
-      const DiagModule* mod = FindModule(dump->modules, frame.pc);
-      if (mod == nullptr) continue;
-      frame.module = mod->path;
-      const std::uint64_t dump_bias = ModuleBias(dump->modules, mod->path);
-      frame.module_offset = frame.pc - dump_bias;
-      if (mod->path.empty()) continue;
-      // Same module loaded here too (normal case: reading a dump from
-      // this very binary)? Rebase and ask dladdr for a name.
-      const std::uint64_t own_bias = ModuleBias(own, mod->path);
-      bool loaded_here = false;
-      for (const DiagModule& m : own) {
-        if (m.path == mod->path) {
-          loaded_here = true;
-          break;
-        }
-      }
-      if (!loaded_here) continue;
-      Dl_info info;
-      const auto addr = reinterpret_cast<void*>(frame.module_offset +
-                                                own_bias);
-      if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
-        int status = 0;
-        char* demangled =
-            abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
-        if (status == 0 && demangled != nullptr) {
-          frame.symbol = demangled;
-        } else {
-          frame.symbol = info.dli_sname;
-        }
-        std::free(demangled);
-      }
+      SymbolizedPc sym = SymbolizePc(frame.pc, dump->modules, own);
+      frame.module = std::move(sym.module);
+      frame.module_offset = sym.module_offset;
+      frame.symbol = std::move(sym.symbol);
     }
   }
 }

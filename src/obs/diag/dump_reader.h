@@ -13,15 +13,9 @@
 #include <string>
 #include <vector>
 
-namespace dd::obs::diag {
+#include "obs/diag/symbolize.h"  // DiagModule + the shared symbolizer
 
-struct DiagModule {
-  std::uint64_t start = 0;
-  std::uint64_t end = 0;
-  std::uint64_t file_offset = 0;
-  bool exec = false;
-  std::string path;
-};
+namespace dd::obs::diag {
 
 struct DiagFrame {
   std::uint64_t pc = 0;

@@ -1,0 +1,135 @@
+#include "obs/diag/symbolize.h"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dd::obs::diag {
+
+namespace {
+
+std::uint64_t ParseHex(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+std::vector<std::string> SplitWs(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string Demangle(const char* mangled) {
+  int status = 0;
+  char* demangled = abi::__cxa_demangle(mangled, nullptr, nullptr, &status);
+  std::string out;
+  if (status == 0 && demangled != nullptr) {
+    out = demangled;
+  } else {
+    out = mangled;
+  }
+  std::free(demangled);
+  return out;
+}
+
+}  // namespace
+
+bool ParseMapsLine(const std::string& line, DiagModule* mod) {
+  const auto toks = SplitWs(line);
+  if (toks.size() < 5) return false;
+  const std::size_t dash = toks[0].find('-');
+  if (dash == std::string::npos) return false;
+  mod->start = ParseHex(toks[0].substr(0, dash));
+  mod->end = ParseHex(toks[0].substr(dash + 1));
+  mod->exec = toks[1].size() >= 3 && toks[1][2] == 'x';
+  mod->file_offset = ParseHex(toks[2]);
+  mod->path = toks.size() >= 6 ? toks[5] : "";
+  return true;
+}
+
+std::vector<DiagModule> ParseMapsText(const std::string& text) {
+  std::vector<DiagModule> modules;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    DiagModule mod;
+    if (ParseMapsLine(text.substr(pos, nl - pos), &mod)) {
+      modules.push_back(mod);
+    }
+    pos = nl + 1;
+  }
+  return modules;
+}
+
+std::vector<DiagModule> SelfModules() {
+  std::vector<DiagModule> modules;
+  std::ifstream maps("/proc/self/maps");
+  std::string line;
+  while (std::getline(maps, line)) {
+    DiagModule mod;
+    if (ParseMapsLine(line, &mod)) modules.push_back(mod);
+  }
+  return modules;
+}
+
+const DiagModule* FindModule(const std::vector<DiagModule>& modules,
+                             std::uint64_t pc) {
+  for (const DiagModule& mod : modules) {
+    if (pc >= mod.start && pc < mod.end) return &mod;
+  }
+  return nullptr;
+}
+
+std::uint64_t ModuleBias(const std::vector<DiagModule>& modules,
+                         const std::string& path) {
+  std::uint64_t bias = UINT64_MAX;
+  for (const DiagModule& mod : modules) {
+    if (mod.path != path) continue;
+    const std::uint64_t b = mod.start - mod.file_offset;
+    if (b < bias) bias = b;
+  }
+  return bias == UINT64_MAX ? 0 : bias;
+}
+
+SymbolizedPc SymbolizePc(std::uint64_t pc,
+                         const std::vector<DiagModule>& capture_modules,
+                         const std::vector<DiagModule>& own_modules) {
+  SymbolizedPc out;
+  const DiagModule* mod = FindModule(capture_modules, pc);
+  if (mod == nullptr) return out;
+  out.module = mod->path;
+  const std::uint64_t capture_bias = ModuleBias(capture_modules, mod->path);
+  out.module_offset = pc - capture_bias;
+  if (mod->path.empty()) return out;
+  // Same module loaded here too (normal case: reading a dump from this
+  // very binary, or an own-process profile)? Rebase and ask dladdr for
+  // a name.
+  bool loaded_here = false;
+  for (const DiagModule& m : own_modules) {
+    if (m.path == mod->path) {
+      loaded_here = true;
+      break;
+    }
+  }
+  if (!loaded_here) return out;
+  const std::uint64_t own_bias = ModuleBias(own_modules, mod->path);
+  Dl_info info;
+  const auto addr = reinterpret_cast<void*>(out.module_offset + own_bias);
+  if (dladdr(addr, &info) != 0 && info.dli_sname != nullptr) {
+    out.symbol = Demangle(info.dli_sname);
+  }
+  return out;
+}
+
+std::string SymbolForAddress(const void* addr) {
+  Dl_info info;
+  if (dladdr(addr, &info) == 0 || info.dli_sname == nullptr) return "";
+  return Demangle(info.dli_sname);
+}
+
+}  // namespace dd::obs::diag

@@ -1,0 +1,76 @@
+// Shared PC symbolization for diagnostics and profiling. Both consumers
+// capture raw backtrace() addresses (symbolizing in a signal handler is
+// unsafe) and resolve them offline against /proc/<pid>/maps module
+// maps: the crash-dump reader (`ddtool diag`) rebases PCs from the
+// crashed process's map into this process before asking dladdr, and the
+// sampling profiler (src/obs/prof) symbolizes its own addresses
+// directly. Factoring the logic here keeps the two paths byte-identical
+// — a frame that symbolizes one way in a crash dump symbolizes the
+// same way in a flamegraph.
+
+#ifndef DD_OBS_DIAG_SYMBOLIZE_H_
+#define DD_OBS_DIAG_SYMBOLIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dd::obs::diag {
+
+// One /proc/<pid>/maps mapping. `exec` mirrors the x permission bit;
+// `path` is empty for anonymous regions.
+struct DiagModule {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  std::uint64_t file_offset = 0;
+  bool exec = false;
+  std::string path;
+};
+
+// Parses one maps line:
+//   "7f3a12000000-7f3a12200000 r-xp 00020000 08:01 123 /usr/lib/x.so"
+// Returns false on truncated / malformed lines (fewer than five
+// fields, missing the start-end dash). Anonymous mappings (no path
+// field) parse with an empty path.
+bool ParseMapsLine(const std::string& line, DiagModule* mod);
+
+// Every parseable line of a maps-format text, in order. Malformed
+// lines are skipped, matching the tolerant dump-reader behavior.
+std::vector<DiagModule> ParseMapsText(const std::string& text);
+
+// This process's own /proc/self/maps.
+std::vector<DiagModule> SelfModules();
+
+// The mapping containing `pc`, or nullptr.
+const DiagModule* FindModule(const std::vector<DiagModule>& modules,
+                             std::uint64_t pc);
+
+// Load bias of the module mapped at `path`: the start of its lowest
+// mapping minus that mapping's file offset. 0 when the path is absent.
+std::uint64_t ModuleBias(const std::vector<DiagModule>& modules,
+                         const std::string& path);
+
+// Offline enrichment of one PC.
+struct SymbolizedPc {
+  std::string module;               // mapping path ("" when unplaced)
+  std::uint64_t module_offset = 0;  // pc - module load bias (addr2line input)
+  std::string symbol;               // demangled; "" when unresolved
+};
+
+// Places `pc` (captured in the address space described by
+// `capture_modules`) in its module, rebases it to a module-relative
+// offset, and — when the same module is loaded in this process too
+// (`own_modules`) — resolves a demangled symbol name through dladdr.
+// Best effort: fields the lookup cannot fill stay empty/zero.
+SymbolizedPc SymbolizePc(std::uint64_t pc,
+                         const std::vector<DiagModule>& capture_modules,
+                         const std::vector<DiagModule>& own_modules);
+
+// Demangled symbol name for an address in this process ("" when dladdr
+// has no dynamic symbol covering it). The fast path for own-process
+// profiles, where no rebasing is needed.
+std::string SymbolForAddress(const void* addr);
+
+}  // namespace dd::obs::diag
+
+#endif  // DD_OBS_DIAG_SYMBOLIZE_H_

@@ -6,12 +6,20 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "common/build_info.h"
 #include "obs/diag/crash_dump.h"
 #include "obs/export/prometheus.h"
+#include "obs/json_util.h"
+#include "obs/prof/folded.h"
+#include "obs/prof/profiler.h"
 #include "obs/resource.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -45,6 +53,98 @@ std::string HttpResponse(const char* status, const std::string& body,
   out += "\r\nConnection: close\r\n\r\n";
   out += body;
   return out;
+}
+
+// "name=value" query-string lookup; returns fallback when the
+// parameter is absent or not a number.
+long QueryParam(const std::string& query, const std::string& name,
+                long fallback) {
+  std::size_t begin = 0;
+  while (begin < query.size()) {
+    std::size_t end = query.find('&', begin);
+    if (end == std::string::npos) end = query.size();
+    const std::string pair = query.substr(begin, end - begin);
+    begin = end + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || pair.substr(0, eq) != name) continue;
+    char* parse_end = nullptr;
+    const long value = std::strtol(pair.c_str() + eq + 1, &parse_end, 10);
+    if (parse_end != pair.c_str() + eq + 1 && *parse_end == '\0') return value;
+  }
+  return fallback;
+}
+
+double GaugeValue(const MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& gauge : snapshot.gauges) {
+    if (gauge.name == name) return gauge.value;
+  }
+  return 0.0;
+}
+
+// The /healthz body: build provenance plus liveness numbers, so a
+// probe (or a human with curl) sees what is running and how much data
+// it is serving without scraping the full /metrics exposition.
+std::string HealthzJson() {
+  UpdateRssGauges();  // refresh process.uptime_seconds
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const BuildInfo& info = GetBuildInfo();
+  std::string hash = info.git_hash;
+  const std::string dirty_suffix = "+dirty";
+  const bool dirty = hash.size() > dirty_suffix.size() &&
+                     hash.compare(hash.size() - dirty_suffix.size(),
+                                  dirty_suffix.size(), dirty_suffix) == 0;
+  if (dirty) hash.resize(hash.size() - dirty_suffix.size());
+  char buf[64];
+  std::string out = "{\"status\":\"ok\",\"version\":\"";
+  out += JsonEscape(info.version);
+  out += "\",\"git_hash\":\"";
+  out += JsonEscape(hash);
+  out += "\",\"git_dirty\":";
+  out += dirty ? "true" : "false";
+  out += ",\"build_type\":\"";
+  out += JsonEscape(info.build_type);
+  out += "\"";
+  std::snprintf(buf, sizeof(buf), ",\"uptime_seconds\":%.3f",
+                GaugeValue(snapshot, "process.uptime_seconds"));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"live_tuples\":%.0f",
+                GaugeValue(snapshot, "incr.live_tuples"));
+  out += buf;
+  std::snprintf(buf, sizeof(buf), ",\"matching_tuples\":%.0f",
+                GaugeValue(snapshot, "incr.matching_tuples"));
+  out += buf;
+  out += "}\n";
+  return out;
+}
+
+// GET /debug/prof?seconds=N&hz=H — runs a capture for N seconds and
+// responds with the folded stacks. The capture happens before the
+// response is written, so the 2 s send timeout never truncates it; the
+// port serves one connection at a time, so the capture blocks other
+// scrapes for its duration (clamped to 60 s).
+std::string DebugProfResponse(const std::string& query,
+                              const std::atomic<bool>& stop) {
+  const long seconds = std::clamp(QueryParam(query, "seconds", 5), 1L, 60L);
+  const long hz = std::clamp(QueryParam(query, "hz", 99), 1L, 1000L);
+  prof::ProfilerOptions options;
+  options.hz = static_cast<int>(hz);
+  const Status started = prof::Profiler::Global().Start(options);
+  if (!started.ok()) {
+    // Typically FailedPrecondition: a --profile run or a concurrent
+    // scrape owns the (process-wide) profiler.
+    return HttpResponse("409 Conflict", started.ToString() + "\n",
+                        "text/plain");
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const prof::Profile profile = prof::Profiler::Global().Stop();
+  return HttpResponse("200 OK",
+                      prof::FoldedToString(prof::FoldProfile(profile)),
+                      "text/plain");
 }
 
 }  // namespace
@@ -143,9 +243,15 @@ void MetricsHttpServer::HandleConnection(int fd) {
                             "text/plain");
   } else {
     const std::size_t path_end = line.find(' ', 4);
-    const std::string path = line.substr(4, path_end == std::string::npos
-                                                ? std::string::npos
-                                                : path_end - 4);
+    std::string path = line.substr(4, path_end == std::string::npos
+                                          ? std::string::npos
+                                          : path_end - 4);
+    std::string query;
+    const std::size_t question = path.find('?');
+    if (question != std::string::npos) {
+      query = path.substr(question + 1);
+      path.resize(question);
+    }
     if (path == "/metrics") {
       // Scrape-time RSS refresh: mem.rss_bytes / mem.rss_peak_bytes are
       // as fresh as the scrape, wherever the run is between rebuilds.
@@ -156,12 +262,14 @@ void MetricsHttpServer::HandleConnection(int fd) {
               MetricsSnapshotToPrometheus(MetricsRegistry::Global().Snapshot()),
           "text/plain; version=0.0.4; charset=utf-8");
     } else if (path == "/healthz") {
-      response = HttpResponse("200 OK", "ok\n", "text/plain");
+      response = HttpResponse("200 OK", HealthzJson(), "application/json");
     } else if (path == "/debug/dump") {
       // Live diagnostic dump: same format as a crash dump, captured
       // from healthy context with all-thread stacks.
       response = HttpResponse("200 OK", diag::CaptureLiveDump("live"),
                               "text/plain");
+    } else if (path == "/debug/prof") {
+      response = DebugProfResponse(query, stop_);
     } else {
       response = HttpResponse("404 Not Found", "not found\n", "text/plain");
     }

@@ -1,7 +1,13 @@
 // Minimal embedded HTTP server for live metrics: a blocking accept
-// loop on one dedicated thread, answering exactly two routes —
-//   GET /metrics   Prometheus text exposition of the global registry
-//   GET /healthz   "ok" liveness probe
+// loop on one dedicated thread, answering four routes —
+//   GET /metrics      Prometheus text exposition of the global registry
+//   GET /healthz      JSON liveness probe: build provenance (version,
+//                     git hash + dirty bit), uptime, live tuple counts
+//   GET /debug/dump   live diagnostic dump (all-thread stacks)
+//   GET /debug/prof   on-demand CPU profile (?seconds=N&hz=H): runs
+//                     the sampling profiler (obs/prof) for N seconds
+//                     and responds with folded stacks; 409 while a
+//                     capture is already running
 // Everything else is 404. One request per connection (the response
 // carries Connection: close), no keep-alive, no TLS, no third-party
 // dependencies; this is a diagnostics port for `ddtool serve` /

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "obs/json_util.h"
+#include "obs/prof/profiler.h"
 
 namespace dd::obs {
 
@@ -47,6 +48,7 @@ RunReport CaptureRunReport(const std::string& name) {
   report.trace = Tracer::Global().Snapshot();
   report.metrics = MetricsRegistry::Global().Snapshot();
   report.pool = PoolStatsCollector::Global().Snapshot();
+  report.profile_json = prof::Profiler::Global().SummaryJson();
   return report;
 }
 
@@ -168,6 +170,11 @@ std::string RunReportToJson(const RunReport& report) {
   if (!report.pool.empty()) {
     out += ",\"parallel\":";
     out += PoolSnapshotToJson(report.pool);
+  }
+  if (!report.profile_json.empty()) {
+    // Already JSON (ProfileSummaryJson) — embedded verbatim.
+    out += ",\"profile\":";
+    out += report.profile_json;
   }
   out += "}";
   return out;

@@ -21,9 +21,13 @@
 //                                          "chunks": n, "items": m,
 //                                          "busy_ms": b, "wait_ms": w},
 //                                         ...]}, ...],
-//                 "dropped_events": 0}}
+//                 "dropped_events": 0},
+//    "profile": {"hz": 99, "duration_seconds": 1.2, "samples": N,
+//                "dropped": 0, "truncated": 0, "spans": {...},
+//                "phases": {...}, "functions": [...]}}
 // The "parallel" key appears only when the pool-stats collector
-// (obs/pool_stats.h) recorded at least one phase.
+// (obs/pool_stats.h) recorded at least one phase; "profile" only when
+// the sampling profiler (obs/prof) has captured samples this run.
 
 #ifndef DD_OBS_REPORT_H_
 #define DD_OBS_REPORT_H_
@@ -44,6 +48,11 @@ struct RunReport {
   MetricsSnapshot metrics;
   // Worker-pool execution stats; empty when the collector was off.
   PoolStatsSnapshot pool;
+  // Raw JSON summary from the sampling profiler (prof::Profiler
+  // ::SummaryJson()); "" when no capture ran. Captured live when a
+  // capture is still running, so --profile reports written before the
+  // profiler stops carry the in-flight data.
+  std::string profile_json;
 };
 
 // Captures the current global tracer + metrics registry + pool-stats

@@ -9,6 +9,16 @@ namespace dd::obs {
 thread_local Tracer::Node* Tracer::tl_current_ = nullptr;
 thread_local std::uint64_t Tracer::tl_generation_ = 0;
 
+namespace {
+// Innermost span name for the sampling profiler. Separate from
+// tl_current_ so it is published even with the tracer disabled, and a
+// plain pointer (not a Node*) so a signal handler can read it without
+// chasing heap structures.
+thread_local const char* tl_span_name = nullptr;
+}  // namespace
+
+const char* CurrentSpanName() { return tl_span_name; }
+
 double TraceSnapshot::TotalSeconds() const {
   double total = 0.0;
   for (const SpanStats& root : roots) total += root.total_seconds;
@@ -95,6 +105,8 @@ void Tracer::Reset() {
 }
 
 TraceSpan::TraceSpan(const char* name) {
+  prev_published_ = tl_span_name;
+  tl_span_name = name;
   // Spans mirror into the diag flight recorder independently of the
   // tracer toggle: crash dumps want the last phases even when the
   // aggregating tracer is off.
@@ -121,6 +133,7 @@ TraceSpan::TraceSpan(const char* name) {
 }
 
 TraceSpan::~TraceSpan() {
+  tl_span_name = prev_published_;
   if (flight_) {
     const auto flight_elapsed = std::chrono::steady_clock::now() - start_;
     diag::FlightRecord(

@@ -110,7 +110,17 @@ class TraceSpan {
   // mid-span or the tracer itself is disabled.
   const char* name_ = nullptr;
   bool flight_ = false;
+  // Saved CurrentSpanName() of the enclosing scope, restored on exit.
+  const char* prev_published_ = nullptr;
 };
+
+// Innermost active TraceSpan name on this thread (a static-storage
+// literal), or nullptr outside any span. Published unconditionally by
+// TraceSpan — independent of the tracer and flight-recorder toggles —
+// with plain thread-local stores, so it costs ~nothing and is
+// async-signal-safe to read from a handler running on the same thread.
+// The sampling profiler (src/obs/prof) tags samples with it.
+const char* CurrentSpanName();
 
 }  // namespace dd::obs
 

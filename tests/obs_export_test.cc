@@ -25,6 +25,7 @@
 #include "obs/export/prometheus.h"
 #include "obs/export/sampler.h"
 #include "obs/metrics.h"
+#include "obs/prof/folded.h"
 #include "obs/trace.h"
 #include "tests/test_util.h"
 
@@ -302,7 +303,21 @@ TEST(MetricsHttpServer, ServesMetricsAndHealthz) {
   const std::string health =
       HttpGet(port, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
   EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
-  EXPECT_NE(health.find("ok"), std::string::npos);
+  EXPECT_NE(health.find("application/json"), std::string::npos) << health;
+  // JSON body with build provenance and liveness numbers.
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"version\":\""), std::string::npos);
+  EXPECT_NE(health.find("\"git_hash\":\""), std::string::npos);
+  EXPECT_NE(health.find("\"git_dirty\":"), std::string::npos);
+  // The stripped hash never carries the dirty marker; the flag does.
+  EXPECT_EQ(health.find("+dirty"), std::string::npos) << health;
+  EXPECT_NE(health.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(health.find("\"live_tuples\":"), std::string::npos);
+  EXPECT_NE(health.find("\"matching_tuples\":"), std::string::npos);
+  const std::size_t body_start = health.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  EXPECT_TRUE(testutil::JsonChecker(health.substr(body_start + 4)).Valid())
+      << health;
 
   const std::string missing =
       HttpGet(port, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
@@ -346,6 +361,56 @@ TEST(MetricsHttpServer, ServesWhileMetricsAreWritten) {
   }
   done.store(true);
   writer.join();
+}
+
+// /debug/prof runs a live capture while the process is busy (a writer
+// thread plus pooled ParallelFor work, as `ddtool serve` would be
+// during ingestion) and must come back with parseable folded lines.
+// Also covered by the TSan CI job.
+TEST(MetricsHttpServer, DebugProfCapturesUnderLoad) {
+  auto server = obs::MetricsHttpServer::Start(0);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  std::atomic<bool> done{false};
+  std::thread ingester([&done] {
+    std::atomic<std::uint64_t> sink{0};
+    while (!done.load(std::memory_order_relaxed)) {
+      ParallelFor("export_test.ingest", 256, 2,
+                  [&sink](std::size_t, std::size_t begin, std::size_t end) {
+                    std::uint64_t acc = 0;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      acc += i * i + (acc >> 3);
+                    }
+                    sink.fetch_add(acc, std::memory_order_relaxed);
+                  });
+    }
+  });
+
+  const std::string response = HttpGet(
+      port, "GET /debug/prof?seconds=1&hz=251 HTTP/1.1\r\nHost: t\r\n\r\n");
+  done.store(true);
+  ingester.join();
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  const std::size_t body_start = response.find("\r\n\r\n");
+  ASSERT_NE(body_start, std::string::npos);
+  const std::string body = response.substr(body_start + 4);
+  // A 1 s busy capture at 251 Hz cannot come back empty, and every
+  // line must parse as "<stack> <count>" with the span:/phase: roots.
+  obs::prof::FoldedProfile folded;
+  ASSERT_TRUE(obs::prof::ParseFolded(body, &folded).ok()) << body;
+  EXPECT_FALSE(folded.empty()) << body;
+  for (const auto& [key, hits] : folded.stacks) {
+    EXPECT_EQ(key.rfind("span:", 0), 0u) << key;
+    EXPECT_NE(key.find(";phase:"), std::string::npos) << key;
+    EXPECT_GT(hits, 0u);
+  }
+  // Bad parameters clamp rather than fail; a second capture can start
+  // right after the first finished.
+  const std::string clamped = HttpGet(
+      port, "GET /debug/prof?seconds=0&hz=-3 HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(clamped.find("HTTP/1.1 200 OK"), std::string::npos) << clamped;
 }
 
 // --------------------------------------------------------------------

@@ -1,0 +1,142 @@
+// Tests for the shared PC symbolizer (src/obs/diag/symbolize), factored
+// out of the dump reader for the sampling profiler: /proc/<pid>/maps
+// parsing against synthetic fixtures (anonymous regions, non-executable
+// mappings, truncated lines), the min-bias rebasing rule, and
+// own-process symbol resolution through dladdr.
+
+#include "obs/diag/symbolize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dd {
+namespace {
+
+using obs::diag::DiagModule;
+using obs::diag::FindModule;
+using obs::diag::ModuleBias;
+using obs::diag::ParseMapsLine;
+using obs::diag::ParseMapsText;
+using obs::diag::SelfModules;
+using obs::diag::SymbolForAddress;
+using obs::diag::SymbolizedPc;
+using obs::diag::SymbolizePc;
+
+TEST(ParseMapsLine, FullFileBackedMapping) {
+  DiagModule mod;
+  ASSERT_TRUE(ParseMapsLine(
+      "55e7a1c00000-55e7a1c50000 r-xp 00020000 fd:01 123456 /usr/bin/ddtool",
+      &mod));
+  EXPECT_EQ(mod.start, 0x55e7a1c00000u);
+  EXPECT_EQ(mod.end, 0x55e7a1c50000u);
+  EXPECT_EQ(mod.file_offset, 0x20000u);
+  EXPECT_TRUE(mod.exec);
+  EXPECT_EQ(mod.path, "/usr/bin/ddtool");
+}
+
+TEST(ParseMapsLine, AnonymousRegionHasNoPath) {
+  DiagModule mod;
+  ASSERT_TRUE(
+      ParseMapsLine("7f0000000000-7f0000021000 rw-p 00000000 00:00 0", &mod));
+  EXPECT_EQ(mod.path, "");
+  EXPECT_FALSE(mod.exec);
+}
+
+TEST(ParseMapsLine, NonExecutableMapping) {
+  DiagModule mod;
+  ASSERT_TRUE(ParseMapsLine(
+      "55e7a1b00000-55e7a1c00000 r--p 00000000 fd:01 123456 /usr/bin/ddtool",
+      &mod));
+  EXPECT_FALSE(mod.exec);
+}
+
+TEST(ParseMapsLine, TruncatedOrMalformedLinesRejected) {
+  DiagModule mod;
+  EXPECT_FALSE(ParseMapsLine("", &mod));
+  EXPECT_FALSE(ParseMapsLine("bogus", &mod));
+  EXPECT_FALSE(ParseMapsLine("55e7a1c00000-55e7a1c50000 r-xp", &mod));
+  // Range token without the dash.
+  EXPECT_FALSE(ParseMapsLine(
+      "55e7a1c00000 r-xp 00000000 fd:01 123456 /usr/bin/ddtool", &mod));
+}
+
+TEST(ParseMapsText, SkipsBadLinesKeepsGoodOnes) {
+  const std::string text =
+      "1000-2000 r-xp 00000000 fd:01 1 /bin/a\n"
+      "garbage line\n"
+      "3000-4000 rw-p 00001000 fd:01 1 /bin/a\n";
+  const std::vector<DiagModule> modules = ParseMapsText(text);
+  ASSERT_EQ(modules.size(), 2u);
+  EXPECT_EQ(modules[0].start, 0x1000u);
+  EXPECT_EQ(modules[1].file_offset, 0x1000u);
+}
+
+TEST(FindModule, RangeBoundsAreHalfOpen) {
+  const std::vector<DiagModule> modules = ParseMapsText(
+      "1000-2000 r-xp 00000000 fd:01 1 /bin/a\n"
+      "3000-4000 r-xp 00000000 fd:01 2 /bin/b\n");
+  ASSERT_EQ(modules.size(), 2u);
+  EXPECT_EQ(FindModule(modules, 0x1000), &modules[0]);  // inclusive start
+  EXPECT_EQ(FindModule(modules, 0x1fff), &modules[0]);
+  EXPECT_EQ(FindModule(modules, 0x2000), nullptr);  // exclusive end
+  EXPECT_EQ(FindModule(modules, 0x2800), nullptr);  // gap
+  EXPECT_EQ(FindModule(modules, 0x3000), &modules[1]);
+  EXPECT_EQ(FindModule(modules, 0x4000), nullptr);
+}
+
+TEST(ModuleBias, MinimumOverSamePathMappings) {
+  // Two segments of the same binary: text at base+0x2000 (offset
+  // 0x2000) and data at base+0x10000 (offset 0xf000, bias 0x1000
+  // higher). The load bias is the minimum start-minus-offset.
+  const std::vector<DiagModule> modules = ParseMapsText(
+      "402000-450000 r-xp 00002000 fd:01 1 /bin/a\n"
+      "410000-420000 rw-p 0000f000 fd:01 1 /bin/a\n");
+  EXPECT_EQ(ModuleBias(modules, "/bin/a"), 0x400000u);
+  EXPECT_EQ(ModuleBias(modules, "/bin/unknown"), 0u);
+}
+
+TEST(SymbolizePc, RebasesAgainstSyntheticCaptureModules) {
+  // A dump captured in a process whose /x/libfake.so loaded at
+  // 0x7f1234000000; that library is not loaded here, so the symbol
+  // stays empty but the module-relative offset is exact.
+  const std::vector<DiagModule> capture = ParseMapsText(
+      "7f1234000000-7f1234100000 r-xp 00000000 fd:01 9 /x/libfake.so\n");
+  const std::vector<DiagModule> own = SelfModules();
+  const SymbolizedPc sym = SymbolizePc(0x7f1234000940, capture, own);
+  EXPECT_EQ(sym.module, "/x/libfake.so");
+  EXPECT_EQ(sym.module_offset, 0x940u);
+  EXPECT_EQ(sym.symbol, "");
+}
+
+TEST(SymbolizePc, UnmappedPcYieldsNothing) {
+  const std::vector<DiagModule> capture =
+      ParseMapsText("1000-2000 r-xp 00000000 fd:01 1 /bin/a\n");
+  const SymbolizedPc sym = SymbolizePc(0x9000, capture, SelfModules());
+  EXPECT_EQ(sym.module, "");
+  EXPECT_EQ(sym.symbol, "");
+}
+
+TEST(SymbolizePc, OwnProcessIdentityRebaseResolvesKnownFunction) {
+  // capture == own: the rebase is the identity, and dladdr must name
+  // an exported function of this very test binary (-rdynamic).
+  const std::vector<DiagModule> own = SelfModules();
+  ASSERT_FALSE(own.empty());
+  const auto pc = reinterpret_cast<std::uint64_t>(&obs::diag::SelfModules);
+  const SymbolizedPc sym = SymbolizePc(pc, own, own);
+  EXPECT_NE(sym.symbol.find("SelfModules"), std::string::npos)
+      << "module=" << sym.module << " symbol=" << sym.symbol;
+}
+
+TEST(SymbolForAddress, ResolvesAndDemanglesOwnSymbol) {
+  const std::string symbol =
+      SymbolForAddress(reinterpret_cast<const void*>(&obs::diag::SelfModules));
+  EXPECT_NE(symbol.find("SelfModules"), std::string::npos) << symbol;
+  // Demangled, not the raw mangled name.
+  EXPECT_EQ(symbol.rfind("_Z", 0), std::string::npos) << symbol;
+}
+
+}  // namespace
+}  // namespace dd

@@ -69,6 +69,13 @@
 //                    instance and schema, then reads headerless CSV
 //                    rows from stdin, applying them in --batch-row
 //                    chunks until EOF; same feed lines as watch
+//   ddtool prof      offline consumer of .folded CPU profiles (from
+//                    --profile or GET /debug/prof):
+//                    ddtool prof a.folded [b.folded ...] [--top N]
+//                      [--json] [--merge out.folded]   hot-function
+//                      table (or JSON summary) of the merged inputs
+//                    ddtool prof --diff before.folded after.folded
+//                      [--top N]   per-function self-sample deltas
 //
 // Live telemetry (every subcommand):
 //   --metrics_port N     embedded HTTP server: GET /metrics (Prometheus
@@ -91,6 +98,17 @@
 //                        the collector on implicitly. Surfaces as
 //                        pool.* metrics, the run report's "parallel"
 //                        section, and worker tracks in the trace.
+//   --profile            run the subcommand under the sampling CPU
+//                        profiler (src/obs/prof): per-thread SIGPROF
+//                        timers, stacks tagged with the active trace
+//                        span and pool phase. Writes <out>.folded
+//                        (flamegraph.pl-ready collapsed stacks) and
+//                        <out>.json (summary); <out> defaults to
+//                        ddtool.<command>.prof, override with
+//                        --profile_out PREFIX. The run report gains a
+//                        "profile" section.
+//   --profile_hz N       samples per second of each thread's CPU time
+//                        (default 99; implies --profile)
 //
 // Exit status 0 on success, 1 on bad usage or data errors.
 
@@ -135,6 +153,8 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/pool_stats.h"
+#include "obs/prof/folded.h"
+#include "obs/prof/profiler.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
@@ -144,8 +164,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: ddtool "
-      "<generate|determine|explain|detect|discover|append|watch|serve|diag> "
-      "[flags]\n"
+      "<generate|determine|explain|detect|discover|append|watch|serve|diag|"
+      "prof> [flags]\n"
       "       ddtool --version\n"
       "see the header of tools/ddtool.cc or README.md for flags\n");
   return 1;
@@ -1221,6 +1241,88 @@ int RunDiag(const dd::ArgParser& args) {
   return 0;
 }
 
+// Reads a whole file (for `ddtool prof` inputs).
+dd::Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return dd::Status::IoError("cannot open " + path);
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), file)) > 0) text.append(buf, n);
+  std::fclose(file);
+  return text;
+}
+
+dd::Result<dd::obs::prof::FoldedProfile> LoadFolded(const std::string& path) {
+  DD_ASSIGN_OR_RETURN(std::string text, ReadTextFile(path));
+  dd::obs::prof::FoldedProfile folded;
+  dd::Status parsed = dd::obs::prof::ParseFolded(text, &folded);
+  if (!parsed.ok()) {
+    return dd::Status(parsed.code(), path + ": " + parsed.message());
+  }
+  return folded;
+}
+
+// `ddtool prof`: offline consumer of folded profiles — render the
+// hot-function table (or JSON summary) of one or more merged inputs,
+// persist the merge, or diff two captures.
+int RunProf(const dd::ArgParser& args) {
+  auto top = args.GetInt("top", 20);
+  if (!top.ok()) return Fail(top.status());
+  if (*top < 1) {
+    return Fail(dd::Status::InvalidArgument("--top must be >= 1"));
+  }
+  const std::size_t top_n = static_cast<std::size_t>(*top);
+
+  if (args.Has("diff")) {
+    // --diff swallows the "before" file as its value; "after" is the
+    // one remaining positional.
+    const std::string before_path = args.GetString("diff");
+    if (before_path.empty() || args.positional().size() != 1) {
+      return Fail(dd::Status::InvalidArgument(
+          "usage: ddtool prof --diff before.folded after.folded [--top N]"));
+    }
+    auto before = LoadFolded(before_path);
+    if (!before.ok()) return Fail(before.status());
+    auto after = LoadFolded(args.positional().front());
+    if (!after.ok()) return Fail(after.status());
+    std::fputs(dd::obs::prof::DiffToText(*before, *after, top_n).c_str(),
+               stdout);
+    return 0;
+  }
+
+  if (args.positional().empty()) {
+    return Fail(dd::Status::InvalidArgument(
+        "usage: ddtool prof <a.folded> [b.folded ...] [--top N] [--json] "
+        "[--merge out.folded]  |  ddtool prof --diff A B"));
+  }
+  std::vector<dd::obs::prof::FoldedProfile> inputs;
+  for (const std::string& path : args.positional()) {
+    auto folded = LoadFolded(path);
+    if (!folded.ok()) return Fail(folded.status());
+    inputs.push_back(std::move(*folded));
+  }
+  const dd::obs::prof::FoldedProfile merged =
+      dd::obs::prof::MergeFolded(inputs);
+  const std::string merge_out = args.GetString("merge");
+  if (!merge_out.empty()) {
+    dd::Status written =
+        WriteTextFile(dd::obs::prof::FoldedToString(merged), merge_out);
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr, "ddtool prof: merged %zu profiles -> %s\n",
+                 inputs.size(), merge_out.c_str());
+  }
+  if (args.Has("json")) {
+    std::printf("%s\n",
+                dd::obs::prof::FoldedSummaryJson(merged, top_n).c_str());
+  } else {
+    std::fputs(dd::obs::prof::TopTableToText(merged, top_n).c_str(), stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1272,14 +1374,55 @@ int main(int argc, char** argv) {
                                       diag_options.dir));
     }
   }
-  if (command == "generate") return RunGenerate(args);
-  if (command == "determine") return RunDetermine(args);
-  if (command == "explain") return RunExplain(args);
-  if (command == "detect") return RunDetect(args);
-  if (command == "discover") return RunDiscover(args);
-  if (command == "append") return RunIncremental(args, /*watch=*/false);
-  if (command == "watch") return RunIncremental(args, /*watch=*/true);
-  if (command == "serve") return RunServe(args);
-  if (command == "diag") return RunDiag(args);
-  return Usage();
+  // --profile wraps the whole subcommand in a sampling-profiler
+  // capture (--profile_hz alone implies it). Sampling reads state; it
+  // never perturbs chunking or results — outputs stay bit-identical
+  // with profiling on or off.
+  const bool profile = args.Has("profile") || args.Has("profile_hz");
+  if (profile) {
+    auto hz = args.GetInt("profile_hz", 99);
+    if (!hz.ok()) return Fail(hz.status());
+    dd::obs::prof::ProfilerOptions options;
+    options.hz = static_cast<int>(*hz);
+    dd::Status started = dd::obs::prof::Profiler::Global().Start(options);
+    if (!started.ok()) return Fail(started);
+  }
+  int rc;
+  if (command == "generate") rc = RunGenerate(args);
+  else if (command == "determine") rc = RunDetermine(args);
+  else if (command == "explain") rc = RunExplain(args);
+  else if (command == "detect") rc = RunDetect(args);
+  else if (command == "discover") rc = RunDiscover(args);
+  else if (command == "append") rc = RunIncremental(args, /*watch=*/false);
+  else if (command == "watch") rc = RunIncremental(args, /*watch=*/true);
+  else if (command == "serve") rc = RunServe(args);
+  else if (command == "diag") rc = RunDiag(args);
+  else if (command == "prof") rc = RunProf(args);
+  else {
+    if (profile) dd::obs::prof::Profiler::Global().Stop();
+    return Usage();
+  }
+  if (profile) {
+    const dd::obs::prof::Profile captured =
+        dd::obs::prof::Profiler::Global().Stop();
+    const std::string prefix =
+        args.GetString("profile_out", "ddtool." + command + ".prof");
+    const dd::obs::prof::FoldedProfile folded =
+        dd::obs::prof::FoldProfile(captured);
+    dd::Status written = WriteTextFile(
+        dd::obs::prof::FoldedToString(folded), prefix + ".folded");
+    if (written.ok()) {
+      written = WriteTextFile(
+          dd::obs::prof::ProfileSummaryJson(captured) + "\n",
+          prefix + ".json");
+    }
+    if (!written.ok()) return Fail(written);
+    std::fprintf(stderr,
+                 "profile: %llu samples (%llu dropped) at %d Hz -> "
+                 "%s.folded, %s.json\n",
+                 static_cast<unsigned long long>(captured.samples),
+                 static_cast<unsigned long long>(captured.dropped),
+                 captured.hz, prefix.c_str(), prefix.c_str());
+  }
+  return rc;
 }
