@@ -2,13 +2,40 @@
 // paper-faithful O(M) scan counting vs the O(1) prefix-sum grid
 // extension, plus grid build cost, expected-utility integration, and
 // lattice prune cost.
+//
+// Before the google-benchmark suite, main() emits a SIMD-vs-scalar
+// kernel matrix (packing × dmax × rows for the fused CountLeq and the
+// GridIndices kernels, DESIGN.md §17) as BENCH_JSON rows:
+//   BENCH_JSON {"bench": "micro_counting", "phase":
+//               "countxy_avx2_d4_r100000", "rows": N, "dmax": D,
+//               "packing": "4bit", "elapsed_s": W,
+//               "speedup_vs_scalar": S, "host_cores": C,
+//               "run_id": "..."}
+// speedup_vs_scalar divides the scalar kernel's wall time for the same
+// shape by this row's (1.0 on scalar rows). AVX2 rows appear only on
+// hosts that pass the CPUID dispatch check; tools/benchcmp reports
+// unmatched keys without failing, so captures from AVX2 and non-AVX2
+// hosts stay comparable on the scalar rows. The matrix runs even when
+// --benchmark_filter skips every google benchmark, which is how the CI
+// smoke keeps it cheap.
 
 #include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "core/candidate_lattice.h"
 #include "core/expected_utility.h"
 #include "core/measure_provider.h"
+#include "core/simd_count.h"
 #include "matching/matching_relation.h"
 
 namespace {
@@ -148,6 +175,136 @@ void BM_MakeOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_MakeOrder)->Arg(2)->Arg(3);
 
+// ---------------------------------------------------------------------
+// SIMD kernel matrix.
+
+// Correlation id for this capture: DD_BENCH_RUN_ID when set, else
+// wall-clock microseconds + pid (the micro_parallel scheme).
+std::string BenchRunId() {
+  if (const char* env = std::getenv("DD_BENCH_RUN_ID");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const auto us =
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count();
+  return dd::StrFormat("%011llx-%04x",
+                       static_cast<unsigned long long>(us) & 0xfffffffffffULL,
+                       static_cast<unsigned>(::getpid()) & 0xffff);
+}
+
+// Best-of-3 wall time of `iters` back-to-back kernel passes.
+template <typename Fn>
+double TimeBest(int iters, const Fn& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    dd::Stopwatch timer;
+    for (int i = 0; i < iters; ++i) fn();
+    const double s = timer.ElapsedSeconds();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+void EmitKernelMatrix() {
+  using dd::simd::internal::Avx2Kernels;
+  using dd::simd::internal::kScalarKernels;
+  const dd::simd::internal::KernelTable* avx2 =
+      dd::simd::CpuSupportsAvx2() ? Avx2Kernels() : nullptr;
+  const unsigned host_cores =
+      std::max(1u, std::thread::hardware_concurrency());
+  const std::string run_id = BenchRunId();
+  constexpr std::size_t kAttrs = 4;  // The BM_ScanCountXY rule shape.
+
+  for (int dmax : {4, 14, 200}) {
+    for (std::size_t rows : {std::size_t{100000}, std::size_t{1000000}}) {
+      dd::MatchingRelation m = RandomMatching(kAttrs, dmax, rows, 1);
+      std::vector<dd::simd::ColumnView> views;
+      std::vector<std::uint8_t> bounds;
+      std::vector<std::uint32_t> strides;
+      const std::uint32_t base = static_cast<std::uint32_t>(dmax) + 1;
+      std::uint32_t stride = 1;
+      for (std::size_t a = 0; a < kAttrs; ++a) {
+        views.push_back(dd::simd::View(m.column(a)));
+        bounds.push_back(static_cast<std::uint8_t>(dmax / 2));
+        strides.push_back(stride);
+        stride *= base;  // 201^3 < 2^32: indices stay in range.
+      }
+      const char* packing = m.column(0).packed4() ? "4bit" : "8bit";
+      // Enough passes that the scalar leg clears benchcmp's absolute
+      // noise floor by orders of magnitude.
+      const int iters = rows >= 1000000 ? 8 : 40;
+      std::vector<std::uint32_t> cells(rows);
+
+      struct Shape {
+        const char* kernel;
+        double scalar_s;
+        double avx2_s;  // 0 when AVX2 is unavailable.
+      };
+      std::uint64_t sink = 0;
+      Shape shapes[] = {
+          {"countxy",
+           TimeBest(iters,
+                    [&] {
+                      sink += kScalarKernels.count_leq(
+                          views.data(), bounds.data(), kAttrs, 0, rows);
+                    }),
+           avx2 == nullptr
+               ? 0.0
+               : TimeBest(iters,
+                          [&] {
+                            sink += avx2->count_leq(views.data(),
+                                                    bounds.data(), kAttrs, 0,
+                                                    rows);
+                          })},
+          {"grid",
+           TimeBest(iters,
+                    [&] {
+                      kScalarKernels.grid_indices(views.data(), strides.data(),
+                                                  kAttrs, 0, rows,
+                                                  cells.data());
+                    }),
+           avx2 == nullptr
+               ? 0.0
+               : TimeBest(iters, [&] {
+                   avx2->grid_indices(views.data(), strides.data(), kAttrs, 0,
+                                      rows, cells.data());
+                 })},
+      };
+      if (sink == 0xdeadbeef) std::fprintf(stderr, "impossible\n");
+
+      for (const Shape& shape : shapes) {
+        std::printf(
+            "BENCH_JSON {\"bench\": \"micro_counting\", \"phase\": "
+            "\"%s_scalar_d%d_r%zu\", \"rows\": %zu, \"dmax\": %d, "
+            "\"packing\": \"%s\", \"elapsed_s\": %.6f, "
+            "\"speedup_vs_scalar\": 1.000, \"host_cores\": %u, "
+            "\"run_id\": \"%s\"}\n",
+            shape.kernel, dmax, rows, rows, dmax, packing, shape.scalar_s,
+            host_cores, run_id.c_str());
+        if (shape.avx2_s > 0.0) {
+          std::printf(
+              "BENCH_JSON {\"bench\": \"micro_counting\", \"phase\": "
+              "\"%s_avx2_d%d_r%zu\", \"rows\": %zu, \"dmax\": %d, "
+              "\"packing\": \"%s\", \"elapsed_s\": %.6f, "
+              "\"speedup_vs_scalar\": %.3f, \"host_cores\": %u, "
+              "\"run_id\": \"%s\"}\n",
+              shape.kernel, dmax, rows, rows, dmax, packing, shape.avx2_s,
+              shape.scalar_s / shape.avx2_s, host_cores, run_id.c_str());
+        }
+      }
+    }
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  EmitKernelMatrix();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -5,6 +6,7 @@
 #include "common/string_util.h"
 #include "core/grid_util.h"
 #include "core/measure_provider.h"
+#include "core/simd_count.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -34,21 +36,41 @@ Result<std::unique_ptr<GridMeasureProvider>> GridMeasureProvider::Create(
   for (std::size_t d = 0; d < rule.lhs.size(); ++d) lhs_cells *= base;
   std::vector<std::uint64_t> lhs_grid(lhs_cells, 0);
 
-  // Histogram pass: one increment per matching tuple in each grid.
+  // Histogram pass: one increment per matching tuple in each grid. The
+  // cell-index computation runs through the vector kernel in block
+  // batches (lhs dims are low-order in the joint layout, so the first
+  // lhs_dims strides double as the marginal grid's strides); the
+  // increments themselves stay scalar — they scatter, and cells ≤ 2^27
+  // means conflicts would be frequent.
   const std::size_t m = matching.num_tuples();
-  for (std::size_t row = 0; row < m; ++row) {
-    std::size_t joint_idx = 0;
-    std::size_t lhs_idx = 0;
-    // rhs dims are high-order; fill from the back.
-    for (std::size_t a = rule.rhs.size(); a-- > 0;) {
-      joint_idx = joint_idx * base + matching.level(row, rule.rhs[a]);
+  std::vector<simd::ColumnView> views;
+  std::vector<std::uint32_t> strides;
+  views.reserve(dims);
+  strides.reserve(dims);
+  std::uint64_t stride = 1;  // every pushed stride < cells, which fits uint32
+  for (std::size_t a = 0; a < rule.lhs.size(); ++a) {
+    views.push_back(simd::View(matching.column(rule.lhs[a])));
+    strides.push_back(static_cast<std::uint32_t>(stride));
+    stride *= base;
+  }
+  for (std::size_t a = 0; a < rule.rhs.size(); ++a) {
+    views.push_back(simd::View(matching.column(rule.rhs[a])));
+    strides.push_back(static_cast<std::uint32_t>(stride));
+    stride *= base;
+  }
+  constexpr std::size_t kBlock = 4096;
+  std::vector<std::uint32_t> joint_idx(kBlock);
+  std::vector<std::uint32_t> lhs_idx(kBlock);
+  for (std::size_t row = 0; row < m; row += kBlock) {
+    const std::size_t n = std::min(kBlock, m - row);
+    simd::GridIndices(views.data(), strides.data(), dims, row, row + n,
+                      joint_idx.data());
+    simd::GridIndices(views.data(), strides.data(), rule.lhs.size(), row,
+                      row + n, lhs_idx.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ++joint[joint_idx[i]];
+      ++lhs_grid[lhs_idx[i]];
     }
-    for (std::size_t a = rule.lhs.size(); a-- > 0;) {
-      joint_idx = joint_idx * base + matching.level(row, rule.lhs[a]);
-      lhs_idx = lhs_idx * base + matching.level(row, rule.lhs[a]);
-    }
-    ++joint[joint_idx];
-    ++lhs_grid[lhs_idx];
   }
 
   grid::PrefixSumAllDims(&joint, dims, base);

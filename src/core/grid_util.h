@@ -1,0 +1,66 @@
+// Shared helpers for the cumulative-grid providers (core/grid_provider
+// and incr/delta_grid_provider): cell-count validation and the in-place
+// multidimensional prefix sum that turns a level histogram into the
+// "count of tuples with b[A] <= ϕ[A] for all A" grid the O(1) CountXY
+// reads.
+//
+// Grid layout: dims coordinates in [0, base), coordinate d has stride
+// base^d (low-order dims first — the same order the providers build
+// their joint index in).
+
+#ifndef DD_CORE_GRID_UTIL_H_
+#define DD_CORE_GRID_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dd::grid {
+
+// base^dims, or InvalidArgument when it overflows or exceeds
+// `max_cells` (the providers' memory bound).
+inline Result<std::size_t> GridCells(std::size_t base, std::size_t dims,
+                                     std::size_t max_cells) {
+  std::size_t cells = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (cells > max_cells / base) {
+      return Status::InvalidArgument(
+          "grid would exceed the max_cells memory bound");
+    }
+    cells *= base;
+  }
+  if (cells > max_cells) {
+    return Status::InvalidArgument(
+        "grid would exceed the max_cells memory bound");
+  }
+  return cells;
+}
+
+// In-place cumulative sum along every dimension: afterwards cell ϕ
+// holds the sum of the original values over all cells <= ϕ
+// component-wise. One pass per dimension (the standard summed-area
+// construction), O(dims * cells) adds.
+template <typename T>
+void PrefixSumAllDims(std::vector<T>* grid, std::size_t dims,
+                      std::size_t base) {
+  std::vector<T>& cells = *grid;
+  std::size_t stride = 1;
+  for (std::size_t d = 0; d < dims; ++d) {
+    // Along dimension d, cell i accumulates its predecessor i - stride
+    // whenever its d-coordinate is non-zero. Visiting i in ascending
+    // order makes each run of base cells a running sum.
+    const std::size_t block = stride * base;
+    for (std::size_t start = 0; start < cells.size(); start += block) {
+      for (std::size_t i = start + stride; i < start + block; ++i) {
+        cells[i] += cells[i - stride];
+      }
+    }
+    stride = block;
+  }
+}
+
+}  // namespace dd::grid
+
+#endif  // DD_CORE_GRID_UTIL_H_

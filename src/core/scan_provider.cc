@@ -4,6 +4,7 @@
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/measure_provider.h"
+#include "core/simd_count.h"
 #include "obs/metrics.h"
 
 namespace dd {
@@ -19,8 +20,9 @@ obs::Histogram& ScanLatencyHistogram() {
   return histogram;
 }
 
-// Shared row predicate: does matching tuple `row` satisfy `levels` on
-// the columns of `attrs`?
+// Shared row predicate for the random-access subset path: does matching
+// tuple `row` satisfy `levels` on the columns of `attrs`? The
+// sequential scans go through the simd_count kernels instead.
 inline bool Satisfies(const MatchingRelation& matching,
                       const std::vector<std::size_t>& attrs,
                       const Levels& levels, std::size_t row) {
@@ -31,6 +33,31 @@ inline bool Satisfies(const MatchingRelation& matching,
   }
   return true;
 }
+
+// A threshold pattern compiled to kernel arguments: one column view and
+// one uint8 bound per attribute. Levels are ints; a negative bound can
+// never be satisfied (levels are >= 0), so the pattern is flagged
+// impossible instead of clamped, and bounds above 255 clamp down (every
+// level is <= dmax <= 255, so they match everything either way).
+struct CompiledPattern {
+  std::vector<simd::ColumnView> views;
+  std::vector<std::uint8_t> bounds;
+  bool impossible = false;
+
+  void Append(const MatchingRelation& matching,
+              const std::vector<std::size_t>& attrs, const Levels& levels) {
+    for (std::size_t a = 0; a < attrs.size(); ++a) {
+      const int bound = levels[a];
+      if (bound < 0) {
+        impossible = true;
+        return;
+      }
+      views.push_back(simd::View(matching.column(attrs[a])));
+      bounds.push_back(bound > 255 ? std::uint8_t{255}
+                                   : static_cast<std::uint8_t>(bound));
+    }
+  }
+};
 
 }  // namespace
 
@@ -55,27 +82,36 @@ void ScanMeasureProvider::SetLhs(const Levels& lhs) {
   ++stats_.lhs_evaluations;
   stats_.rows_scanned += m;
 
+  CompiledPattern pattern;
+  pattern.Append(matching_, rule_.lhs, lhs);
+
   Stopwatch scan_timer;
+  if (pattern.impossible) {
+    // No row can satisfy a negative bound; the count and row list stay
+    // empty without touching M.
+    ScanLatencyHistogram().Observe(scan_timer.ElapsedMillis());
+    return;
+  }
   const std::size_t chunks = EffectiveChunks(m, threads_);
   std::vector<std::uint64_t> counts(chunks, 0);
   std::vector<std::vector<std::uint32_t>> rows(full_scan_ ? 0 : chunks);
   ParallelFor("provider.scan_lhs", m, threads_,
               [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-    std::uint64_t count = 0;
-    for (std::size_t row = begin; row < end; ++row) {
-      if (Satisfies(matching_, rule_.lhs, lhs, row)) {
-        ++count;
-        if (!full_scan_) {
-          rows[chunk].push_back(static_cast<std::uint32_t>(row));
-        }
-      }
+    if (full_scan_) {
+      counts[chunk] = simd::CountLeq(pattern.views.data(),
+                                     pattern.bounds.data(),
+                                     pattern.views.size(), begin, end);
+    } else {
+      simd::CollectLeq(pattern.views.data(), pattern.bounds.data(),
+                       pattern.views.size(), begin, end, &rows[chunk]);
+      counts[chunk] = rows[chunk].size();
     }
-    counts[chunk] = count;
   });
   for (std::uint64_t c : counts) lhs_count_ += c;
   ScanLatencyHistogram().Observe(scan_timer.ElapsedMillis());
   if (!full_scan_) {
-    // Chunks cover [0, m) in order, so concatenation keeps rows sorted.
+    // Chunks cover [0, m) in order and CollectLeq appends ascending, so
+    // concatenation keeps rows sorted.
     for (auto& chunk_rows : rows) {
       lhs_rows_.insert(lhs_rows_.end(), chunk_rows.begin(), chunk_rows.end());
     }
@@ -106,18 +142,21 @@ std::uint64_t ScanMeasureProvider::CountXY(const Levels& rhs) {
     const std::size_t m = matching_.num_tuples();
     stats_.rows_scanned += m;
     Stopwatch scan_timer;
+    // One fused kernel pass answers the whole ϕ[XY] conjunction.
+    CompiledPattern pattern;
+    pattern.Append(matching_, rule_.lhs, current_lhs_);
+    if (!pattern.impossible) pattern.Append(matching_, rule_.rhs, rhs);
+    if (pattern.impossible) {
+      ScanLatencyHistogram().Observe(scan_timer.ElapsedMillis());
+      return 0;
+    }
     const std::size_t chunks = EffectiveChunks(m, threads_);
     std::vector<std::uint64_t> counts(chunks, 0);
     ParallelFor("provider.scan_xy_full", m, threads_,
                 [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-      std::uint64_t count = 0;
-      for (std::size_t row = begin; row < end; ++row) {
-        if (Satisfies(matching_, rule_.lhs, current_lhs_, row) &&
-            Satisfies(matching_, rule_.rhs, rhs, row)) {
-          ++count;
-        }
-      }
-      counts[chunk] = count;
+      counts[chunk] = simd::CountLeq(pattern.views.data(),
+                                     pattern.bounds.data(),
+                                     pattern.views.size(), begin, end);
     });
     std::uint64_t total_count = 0;
     for (std::uint64_t c : counts) total_count += c;
@@ -148,17 +187,15 @@ std::uint64_t ScanMeasureProvider::CountXYConcurrent(const Levels& rhs) const {
   // lives outside. No stats, no histogram — committed work is accounted
   // afterwards via AccountCommittedXY.
   DD_CHECK_EQ(rhs.size(), rule_.rhs.size());
-  std::uint64_t count = 0;
   if (full_scan_) {
-    const std::size_t m = matching_.num_tuples();
-    for (std::size_t row = 0; row < m; ++row) {
-      if (Satisfies(matching_, rule_.lhs, current_lhs_, row) &&
-          Satisfies(matching_, rule_.rhs, rhs, row)) {
-        ++count;
-      }
-    }
-    return count;
+    CompiledPattern pattern;
+    pattern.Append(matching_, rule_.lhs, current_lhs_);
+    if (!pattern.impossible) pattern.Append(matching_, rule_.rhs, rhs);
+    if (pattern.impossible) return 0;
+    return simd::CountLeq(pattern.views.data(), pattern.bounds.data(),
+                          pattern.views.size(), 0, matching_.num_tuples());
   }
+  std::uint64_t count = 0;
   for (const std::uint32_t row : lhs_rows_) {
     if (Satisfies(matching_, rule_.rhs, rhs, row)) ++count;
   }

@@ -1,0 +1,149 @@
+// SIMD counting kernels over packed level columns, with runtime dispatch.
+//
+// The determination hot loops reduce to three primitives over the
+// PackedColumn slabs of a MatchingRelation:
+//
+//   CountLeq     rows r in [begin, end) with level_i(r) <= bounds[i] for
+//                every column view i — one fused pass answers a whole
+//                ϕ[X] or ϕ[XY] pattern (ScanMeasureProvider);
+//   CollectLeq   the same predicate, but appending the satisfying row
+//                indices in ascending order (scan_subset SetLhs);
+//   GridIndices  per-row linearized grid cell sum_i level_i(r)*strides[i]
+//                (the histogram pass of GridMeasureProvider /
+//                DeltaGridProvider / the streaming exact build).
+//
+// Each primitive has a scalar implementation and an AVX2 one (compiled
+// in simd_count_avx2.cc with -mavx2 -mbmi2 -mpopcnt on that TU only);
+// both produce bit-identical results — the counts are exact integers
+// and CollectLeq/GridIndices outputs are order-preserving — so dispatch
+// never changes determination output, only speed. The active kernel
+// table is resolved once, lazily, from (in precedence order) the
+// programmatic SetSimdMode (ddtool --simd), the DD_SIMD environment
+// variable, and CPUID: auto picks AVX2 when the CPU has avx2+bmi2+
+// popcnt, scalar otherwise; forcing avx2 on an unsupported CPU warns
+// and falls back to scalar. The resolved choice is published as the
+// `simd.dispatch` info metric (obs/metrics.h), so /metrics and the JSON
+// run report record which kernels actually ran.
+//
+// Bounds are uint8 (callers clamp the int Levels first: a negative
+// bound matches nothing and is the caller's fast path; a bound > 255
+// clamps to 255 and matches everything, since levels are <= dmax <=
+// 255). Views must stay valid for the call; begin/end are row indices
+// into columns of at least `end` rows.
+
+#ifndef DD_CORE_SIMD_COUNT_H_
+#define DD_CORE_SIMD_COUNT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "matching/packed_column.h"
+
+namespace dd::simd {
+
+// A borrowed, read-only view of one packed level column. The data
+// pointer addresses packed words: two levels per byte when packed4
+// (low nibble = even row, the PackedColumn layout), one byte per level
+// otherwise.
+struct ColumnView {
+  const std::uint8_t* data = nullptr;
+  bool packed4 = false;
+};
+
+inline ColumnView View(const PackedColumn& column) {
+  return ColumnView{column.data(), column.packed4()};
+}
+
+// Reads one level through a view (the scalar kernels and vector tails
+// share this; it must match PackedColumn::Get exactly).
+inline Level ViewLevel(const ColumnView& view, std::size_t row) {
+  if (view.packed4) {
+    const std::uint8_t byte = view.data[row >> 1];
+    return (row & 1) ? static_cast<Level>(byte >> 4)
+                     : static_cast<Level>(byte & 0x0F);
+  }
+  return view.data[row];
+}
+
+// Number of rows r in [begin, end) with ViewLevel(views[i], r) <=
+// bounds[i] for every i in [0, num_views). num_views == 0 counts every
+// row.
+std::uint64_t CountLeq(const ColumnView* views, const std::uint8_t* bounds,
+                       std::size_t num_views, std::size_t begin,
+                       std::size_t end);
+
+// Appends the satisfying row indices (same predicate as CountLeq) to
+// *out in ascending order.
+void CollectLeq(const ColumnView* views, const std::uint8_t* bounds,
+                std::size_t num_views, std::size_t begin, std::size_t end,
+                std::vector<std::uint32_t>* out);
+
+// out[r - begin] = sum_i ViewLevel(views[i], r) * strides[i] for r in
+// [begin, end). Strides are uint32 — grid cell counts are capped well
+// below 2^32 (measure_provider.h max_cells); callers with larger grids
+// must keep their scalar path.
+void GridIndices(const ColumnView* views, const std::uint32_t* strides,
+                 std::size_t num_views, std::size_t begin, std::size_t end,
+                 std::uint32_t* out);
+
+// ---- Dispatch control ----
+
+enum class SimdMode {
+  kAuto,    // pick AVX2 when the CPU supports it
+  kAvx2,    // require AVX2 (warns + scalar fallback if unsupported)
+  kScalar,  // force the scalar kernels
+};
+
+// Parses "auto" / "avx2" / "scalar"; returns false (and leaves *mode
+// untouched) on anything else.
+bool ParseSimdMode(std::string_view text, SimdMode* mode);
+
+// Programmatic override (ddtool --simd). Takes precedence over the
+// DD_SIMD environment variable and resets any previously resolved
+// dispatch, so the next kernel call re-resolves and re-publishes the
+// simd.dispatch info metric.
+void SetSimdMode(SimdMode mode);
+SimdMode RequestedSimdMode();
+
+// The resolved kernel set: "avx2" or "scalar". Resolves (and publishes
+// the info metric) if no kernel has run yet.
+const char* ActiveSimdDispatch();
+
+// True when this build and CPU can run the AVX2 kernels (requires
+// avx2 + bmi2 + popcnt).
+bool CpuSupportsAvx2();
+
+namespace internal {
+
+// Function-pointer table the public entry points dispatch through.
+struct KernelTable {
+  std::uint64_t (*count_leq)(const ColumnView*, const std::uint8_t*,
+                             std::size_t, std::size_t, std::size_t);
+  void (*collect_leq)(const ColumnView*, const std::uint8_t*, std::size_t,
+                      std::size_t, std::size_t, std::vector<std::uint32_t>*);
+  void (*grid_indices)(const ColumnView*, const std::uint32_t*, std::size_t,
+                       std::size_t, std::size_t, std::uint32_t*);
+};
+
+// The always-available scalar kernels (also the reference the
+// equivalence tests compare against).
+extern const KernelTable kScalarKernels;
+
+// AVX2 kernels, or nullptr when the TU was built for a non-x86 target.
+// Availability of the CPU features is checked at dispatch, not here.
+const KernelTable* Avx2Kernels();
+
+// Resolved table (lazy). Hot paths call the public wrappers instead.
+const KernelTable& ActiveKernels();
+
+// Test hook: forgets both the explicit mode and the resolved table so
+// the next resolution re-reads DD_SIMD.
+void ResetDispatchForTest();
+
+}  // namespace internal
+
+}  // namespace dd::simd
+
+#endif  // DD_CORE_SIMD_COUNT_H_

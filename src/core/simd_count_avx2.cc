@@ -1,0 +1,223 @@
+// AVX2 implementations of the simd_count kernels. This is the ONLY TU
+// compiled with -mavx2 -mbmi2 -mpopcnt (see src/core/CMakeLists.txt) so
+// the compiler cannot leak AVX2 instructions into code that runs before
+// the CPUID dispatch check; everything here executes only after
+// CpuSupportsAvx2() returned true.
+//
+// Comparison idiom: unsigned bytes have no native <= compare, so
+// (v <= thr) is computed as max_epu8(v, thr) == thr. Each 64-row block
+// becomes one 64-bit row mask per column view — packed4 columns from a
+// single 32-byte load whose even/odd nibble masks are interleaved with
+// PDEP, 8-bit columns from two loads — and the per-view masks AND
+// together so one popcount (or one bit-iteration for CollectLeq)
+// finishes the whole conjunction for 64 rows.
+
+#include "core/simd_count.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace dd::simd {
+namespace {
+
+inline bool AnyPacked4(const ColumnView* views, std::size_t num_views) {
+  for (std::size_t i = 0; i < num_views; ++i) {
+    if (views[i].packed4) return true;
+  }
+  return false;
+}
+
+inline bool RowSatisfies(const ColumnView* views, const std::uint8_t* bounds,
+                         std::size_t num_views, std::size_t row) {
+  for (std::size_t i = 0; i < num_views; ++i) {
+    if (ViewLevel(views[i], row) > bounds[i]) return false;
+  }
+  return true;
+}
+
+// v <= thr per byte, as a 32-bit movemask.
+inline std::uint32_t LeqMask32(__m256i v, __m256i thr) {
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_epi8(_mm256_cmpeq_epi8(_mm256_max_epu8(v, thr), thr)));
+}
+
+// 64-bit satisfaction mask for rows [row, row + 64) of one view; bit b
+// = row + b satisfies. `row` must be even for packed4 views.
+inline std::uint64_t BlockMask64(const ColumnView& view, std::uint8_t bound,
+                                 std::size_t row) {
+  const __m256i thr = _mm256_set1_epi8(static_cast<char>(bound));
+  if (view.packed4) {
+    const __m256i packed = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(view.data + (row >> 1)));
+    const __m256i nibble = _mm256_set1_epi8(0x0F);
+    const __m256i lo = _mm256_and_si256(packed, nibble);  // even rows
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(packed, 4), nibble);  // odd rows
+    const std::uint64_t mlo = LeqMask32(lo, thr);
+    const std::uint64_t mhi = LeqMask32(hi, thr);
+    // Byte k of the load holds rows 2k (low nibble) and 2k+1 (high), so
+    // the even-row mask spreads to even bits and the odd-row mask to
+    // odd bits.
+    return _pdep_u64(mlo, 0x5555555555555555ULL) |
+           _pdep_u64(mhi, 0xAAAAAAAAAAAAAAAAULL);
+  }
+  const std::uint64_t m0 = LeqMask32(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(view.data + row)),
+      thr);
+  const std::uint64_t m1 = LeqMask32(
+      _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(view.data + row + 32)),
+      thr);
+  return m0 | (m1 << 32);
+}
+
+// Fused conjunction mask across all views for rows [row, row + 64).
+inline std::uint64_t ConjunctionMask64(const ColumnView* views,
+                                       const std::uint8_t* bounds,
+                                       std::size_t num_views,
+                                       std::size_t row) {
+  std::uint64_t mask = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < num_views && mask != 0; ++i) {
+    mask &= BlockMask64(views[i], bounds[i], row);
+  }
+  return mask;
+}
+
+std::uint64_t CountLeqAvx2(const ColumnView* views, const std::uint8_t* bounds,
+                           std::size_t num_views, std::size_t begin,
+                           std::size_t end) {
+  if (num_views == 0) return end - begin;
+  std::uint64_t count = 0;
+  std::size_t row = begin;
+  // Align to an even row so packed4 block loads start on a byte.
+  if (AnyPacked4(views, num_views) && (row & 1) != 0 && row < end) {
+    if (RowSatisfies(views, bounds, num_views, row)) ++count;
+    ++row;
+  }
+  for (; row + 64 <= end; row += 64) {
+    count += static_cast<std::uint64_t>(
+        _mm_popcnt_u64(ConjunctionMask64(views, bounds, num_views, row)));
+  }
+  for (; row < end; ++row) {
+    if (RowSatisfies(views, bounds, num_views, row)) ++count;
+  }
+  return count;
+}
+
+void CollectLeqAvx2(const ColumnView* views, const std::uint8_t* bounds,
+                    std::size_t num_views, std::size_t begin, std::size_t end,
+                    std::vector<std::uint32_t>* out) {
+  std::size_t row = begin;
+  if (num_views > 0 && AnyPacked4(views, num_views) && (row & 1) != 0 &&
+      row < end) {
+    if (RowSatisfies(views, bounds, num_views, row)) {
+      out->push_back(static_cast<std::uint32_t>(row));
+    }
+    ++row;
+  }
+  for (; row + 64 <= end; row += 64) {
+    std::uint64_t mask = ConjunctionMask64(views, bounds, num_views, row);
+    // Ascending bit iteration keeps the row list sorted, matching the
+    // scalar kernel exactly.
+    while (mask != 0) {
+      const int bit = __builtin_ctzll(mask);
+      out->push_back(static_cast<std::uint32_t>(row) +
+                     static_cast<std::uint32_t>(bit));
+      mask &= mask - 1;
+    }
+  }
+  for (; row < end; ++row) {
+    if (RowSatisfies(views, bounds, num_views, row)) {
+      out->push_back(static_cast<std::uint32_t>(row));
+    }
+  }
+}
+
+// 32 levels of one view as bytes in row order (rows [row, row + 32));
+// `row` must be even for packed4 views.
+inline __m256i LoadLevels32(const ColumnView& view, std::size_t row) {
+  if (!view.packed4) {
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(view.data + row));
+  }
+  const __m128i packed = _mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(view.data + (row >> 1)));
+  const __m128i nibble = _mm_set1_epi8(0x0F);
+  const __m128i lo = _mm_and_si128(packed, nibble);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(packed, 4), nibble);
+  // Interleaving even (lo) and odd (hi) nibbles restores row order.
+  return _mm256_set_m128i(_mm_unpackhi_epi8(lo, hi),
+                          _mm_unpacklo_epi8(lo, hi));
+}
+
+void GridIndicesAvx2(const ColumnView* views, const std::uint32_t* strides,
+                     std::size_t num_views, std::size_t begin, std::size_t end,
+                     std::uint32_t* out) {
+  std::size_t row = begin;
+  if (num_views > 0 && AnyPacked4(views, num_views) && (row & 1) != 0 &&
+      row < end) {
+    std::uint32_t idx = 0;
+    for (std::size_t i = 0; i < num_views; ++i) {
+      idx += static_cast<std::uint32_t>(ViewLevel(views[i], row)) * strides[i];
+    }
+    *out++ = idx;
+    ++row;
+  }
+  for (; row + 32 <= end; row += 32, out += 32) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    __m256i acc2 = _mm256_setzero_si256();
+    __m256i acc3 = _mm256_setzero_si256();
+    for (std::size_t i = 0; i < num_views; ++i) {
+      const __m256i bytes = LoadLevels32(views[i], row);
+      const __m256i stride = _mm256_set1_epi32(static_cast<int>(strides[i]));
+      const __m128i lo16 = _mm256_castsi256_si128(bytes);      // rows 0..15
+      const __m128i hi16 = _mm256_extracti128_si256(bytes, 1);  // rows 16..31
+      acc0 = _mm256_add_epi32(
+          acc0, _mm256_mullo_epi32(_mm256_cvtepu8_epi32(lo16), stride));
+      acc1 = _mm256_add_epi32(
+          acc1, _mm256_mullo_epi32(
+                    _mm256_cvtepu8_epi32(_mm_srli_si128(lo16, 8)), stride));
+      acc2 = _mm256_add_epi32(
+          acc2, _mm256_mullo_epi32(_mm256_cvtepu8_epi32(hi16), stride));
+      acc3 = _mm256_add_epi32(
+          acc3, _mm256_mullo_epi32(
+                    _mm256_cvtepu8_epi32(_mm_srli_si128(hi16, 8)), stride));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 0), acc0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 8), acc1);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 16), acc2);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 24), acc3);
+  }
+  for (; row < end; ++row) {
+    std::uint32_t idx = 0;
+    for (std::size_t i = 0; i < num_views; ++i) {
+      idx += static_cast<std::uint32_t>(ViewLevel(views[i], row)) * strides[i];
+    }
+    *out++ = idx;
+  }
+}
+
+const internal::KernelTable kAvx2Kernels = {CountLeqAvx2, CollectLeqAvx2,
+                                            GridIndicesAvx2};
+
+}  // namespace
+
+namespace internal {
+
+const KernelTable* Avx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace internal
+
+}  // namespace dd::simd
+
+#else  // !x86
+
+namespace dd::simd::internal {
+
+const KernelTable* Avx2Kernels() { return nullptr; }
+
+}  // namespace dd::simd::internal
+
+#endif

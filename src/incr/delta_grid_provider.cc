@@ -1,9 +1,11 @@
 #include "incr/delta_grid_provider.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
 #include "core/grid_util.h"
+#include "core/simd_count.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/resource.h"
@@ -51,13 +53,39 @@ Result<std::unique_ptr<DeltaGridProvider>> DeltaGridProvider::Create(
   provider->joint_.assign(cells, 0);
   provider->lhs_grid_.assign(lhs_cells, 0);
 
+  // Histogram pass in vector-kernel blocks, exactly the layout CellsOf
+  // produces: lhs dims low-order, so the first lhs strides double as
+  // the marginal grid's strides. Scalar increments (scattered).
   const std::size_t m = matching.num_tuples();
-  for (std::size_t row = 0; row < m; ++row) {
-    auto [joint_idx, lhs_idx] =
-        CellsOf(provider->rule_, base,
-                [&](std::size_t a) { return matching.level(row, a); });
-    ++provider->joint_[joint_idx];
-    ++provider->lhs_grid_[lhs_idx];
+  std::vector<simd::ColumnView> views;
+  std::vector<std::uint32_t> strides;
+  views.reserve(dims);
+  strides.reserve(dims);
+  std::uint64_t stride = 1;  // every pushed stride < cells, which fits uint32
+  for (std::size_t a = 0; a < provider->rule_.lhs.size(); ++a) {
+    views.push_back(simd::View(matching.column(provider->rule_.lhs[a])));
+    strides.push_back(static_cast<std::uint32_t>(stride));
+    stride *= base;
+  }
+  for (std::size_t a = 0; a < provider->rule_.rhs.size(); ++a) {
+    views.push_back(simd::View(matching.column(provider->rule_.rhs[a])));
+    strides.push_back(static_cast<std::uint32_t>(stride));
+    stride *= base;
+  }
+  constexpr std::size_t kBlock = 4096;
+  std::vector<std::uint32_t> joint_idx(kBlock);
+  std::vector<std::uint32_t> lhs_idx(kBlock);
+  for (std::size_t row = 0; row < m; row += kBlock) {
+    const std::size_t count = std::min(kBlock, m - row);
+    simd::GridIndices(views.data(), strides.data(), dims, row, row + count,
+                      joint_idx.data());
+    simd::GridIndices(views.data(), strides.data(),
+                      provider->rule_.lhs.size(), row, row + count,
+                      lhs_idx.data());
+    for (std::size_t i = 0; i < count; ++i) {
+      ++provider->joint_[joint_idx[i]];
+      ++provider->lhs_grid_[lhs_idx[i]];
+    }
   }
   grid::PrefixSumAllDims(&provider->joint_, dims, base);
   grid::PrefixSumAllDims(&provider->lhs_grid_, provider->rule_.lhs.size(),

@@ -19,26 +19,29 @@ void MatchingRelation::AddTuple(std::uint32_t i, std::uint32_t j,
   DD_CHECK_EQ(levels.size(), columns_.size());
   for (std::size_t a = 0; a < levels.size(); ++a) {
     DD_CHECK_LE(static_cast<int>(levels[a]), dmax_);
-    columns_[a].push_back(levels[a]);
+    columns_[a].PushBack(levels[a]);
   }
   pairs_.emplace_back(i, j);
 }
 
 void MatchingRelation::ResizeRows(std::size_t rows) {
-  for (auto& col : columns_) col.resize(rows);
+  for (auto& col : columns_) col.Resize(rows);
   pairs_.resize(rows);
 }
 
 void MatchingRelation::SetTuple(std::size_t row, std::uint32_t i,
                                 std::uint32_t j, const Level* levels) {
   for (std::size_t a = 0; a < columns_.size(); ++a) {
-    columns_[a][row] = levels[a];
+    // SetShared: parallel builders fill disjoint row ranges, and with
+    // 4-bit packing the two rows sharing a byte may straddle a chunk
+    // boundary (packed_column.h).
+    columns_[a].SetShared(row, levels[a]);
   }
   pairs_[row] = {i, j};
 }
 
 void MatchingRelation::Reserve(std::size_t rows) {
-  for (auto& col : columns_) col.reserve(rows);
+  for (auto& col : columns_) col.Reserve(rows);
   pairs_.reserve(rows);
 }
 
@@ -46,7 +49,7 @@ std::vector<Level> MatchingRelation::RowLevels(std::size_t row) const {
   DD_CHECK_LT(row, pairs_.size());
   std::vector<Level> levels(columns_.size());
   for (std::size_t a = 0; a < columns_.size(); ++a) {
-    levels[a] = columns_[a][row];
+    levels[a] = columns_[a].Get(row);
   }
   return levels;
 }
@@ -64,13 +67,13 @@ void MatchingRelation::RemoveRows(const std::vector<std::uint32_t>& rows) {
     }
     if (write != read) {
       pairs_[write] = pairs_[read];
-      for (auto& col : columns_) col[write] = col[read];
+      for (auto& col : columns_) col.Set(write, col.Get(read));
     }
     ++write;
   }
   DD_CHECK_EQ(next, rows.size());
   pairs_.resize(write);
-  for (auto& col : columns_) col.resize(write);
+  for (auto& col : columns_) col.Resize(write);
 }
 
 void MatchingRelation::SortByPairs() {
@@ -86,8 +89,8 @@ void MatchingRelation::SortByPairs() {
   pairs_ = std::move(sorted_pairs);
   std::vector<Level> sorted_col(m);
   for (auto& col : columns_) {
-    for (std::size_t r = 0; r < m; ++r) sorted_col[r] = col[order[r]];
-    col.swap(sorted_col);
+    for (std::size_t r = 0; r < m; ++r) sorted_col[r] = col.Get(order[r]);
+    for (std::size_t r = 0; r < m; ++r) col.Set(r, sorted_col[r]);
   }
 }
 

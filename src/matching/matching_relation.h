@@ -2,9 +2,10 @@
 // holding the pairwise distance on every attribute of interest, bucketed
 // into the integer threshold domain {0, ..., dmax}. The paper
 // pre-computes M once and evaluates every candidate threshold pattern
-// against it; this implementation stores M columnar (one contiguous
-// level array per attribute) so that counting tuples satisfying a
-// pattern is a tight sequential scan.
+// against it; this implementation stores M columnar (one bit-packed,
+// 64-byte-aligned level column per attribute — matching/packed_column.h)
+// so that counting tuples satisfying a pattern is a tight sequential
+// scan the SIMD kernels in core/simd_count.h can vectorize.
 
 #ifndef DD_MATCHING_MATCHING_RELATION_H_
 #define DD_MATCHING_MATCHING_RELATION_H_
@@ -15,18 +16,16 @@
 #include <vector>
 
 #include "common/result.h"
+#include "matching/packed_column.h"
 
 namespace dd {
-
-// A bucketed distance level in [0, dmax]. dmax is capped at 255.
-using Level = std::uint8_t;
 
 class MatchingRelation {
  public:
   MatchingRelation(std::vector<std::string> attribute_names, int dmax)
       : attribute_names_(std::move(attribute_names)),
         dmax_(dmax),
-        columns_(attribute_names_.size()) {}
+        columns_(attribute_names_.size(), PackedColumn(dmax)) {}
 
   std::size_t num_tuples() const { return pairs_.size(); }
   std::size_t num_attributes() const { return attribute_names_.size(); }
@@ -41,11 +40,12 @@ class MatchingRelation {
 
   // Distance level of matching tuple `row` on attribute `attr`.
   Level level(std::size_t row, std::size_t attr) const {
-    return columns_[attr][row];
+    return columns_[attr].Get(row);
   }
 
-  // Contiguous level column for attribute `attr` (scan-friendly).
-  const std::vector<Level>& column(std::size_t attr) const {
+  // Packed level column for attribute `attr` (scan-friendly; the SIMD
+  // kernels read its raw words).
+  const PackedColumn& column(std::size_t attr) const {
     return columns_[attr];
   }
 
@@ -92,7 +92,7 @@ class MatchingRelation {
   std::size_t MemoryUsageBytes() const {
     std::size_t bytes = 0;
     for (const auto& column : columns_) {
-      bytes += column.capacity() * sizeof(Level);
+      bytes += column.capacity_bytes();
     }
     bytes += pairs_.capacity() * sizeof(pairs_[0]);
     return bytes;
@@ -101,7 +101,7 @@ class MatchingRelation {
  private:
   std::vector<std::string> attribute_names_;
   int dmax_;
-  std::vector<std::vector<Level>> columns_;  // columns_[attr][row]
+  std::vector<PackedColumn> columns_;  // columns_[attr].Get(row)
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
 };
 

@@ -87,7 +87,10 @@ std::string SerializeMatchingRelation(const MatchingRelation& matching) {
     Append(&body, j);
   }
   for (std::size_t a = 0; a < matching.num_attributes(); ++a) {
-    const auto& column = matching.column(a);
+    // Serialized columns stay one byte per level whatever the in-memory
+    // packing, so the v2 format (and its checksums) are unchanged by
+    // the bit-packed store.
+    const std::vector<Level> column = matching.column(a).Unpack();
     body.append(reinterpret_cast<const char*>(column.data()), column.size());
   }
 

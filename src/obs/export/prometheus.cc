@@ -42,6 +42,21 @@ std::string MetricsSnapshotToPrometheus(const MetricsSnapshot& snapshot) {
     out += name;
     out += StrFormat(" %g\n", g.value);
   }
+  for (const auto& info : snapshot.infos) {
+    // build_info-style constant gauges: the label carries the fact.
+    const std::string name = SanitizeMetricName(info.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + "{" + SanitizeMetricName(info.label) + "=\"";
+    for (char c : info.value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += "\"} 1\n";
+  }
   for (const auto& h : snapshot.histograms) {
     const std::string name = SanitizeMetricName(h.name);
     out += "# TYPE " + name + " histogram\n";

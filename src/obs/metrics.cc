@@ -141,6 +141,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    snapshot.infos = infos_;
     for (const auto& entry : entries_) {
       switch (entry->kind) {
         case Kind::kCounter:
@@ -169,7 +170,22 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
   std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
   std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  std::sort(snapshot.infos.begin(), snapshot.infos.end(), by_name);
   return snapshot;
+}
+
+void MetricsRegistry::SetInfo(const std::string& name,
+                              const std::string& label,
+                              const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& info : infos_) {
+    if (info.name == name) {
+      info.label = label;
+      info.value = value;
+      return;
+    }
+  }
+  infos_.push_back({name, label, value});
 }
 
 void MetricsRegistry::ResetAll() {

@@ -95,9 +95,18 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
   };
+  // Constant value-1-with-labels gauges (the build_info convention):
+  // a string fact exposed through the numeric exposition, e.g.
+  // simd.dispatch{mode="avx2"} 1.
+  struct InfoValue {
+    std::string name;
+    std::string label;
+    std::string value;
+  };
   std::vector<CounterValue> counters;    // sorted by name
   std::vector<GaugeValue> gauges;        // sorted by name
   std::vector<HistogramValue> histograms;  // sorted by name
+  std::vector<InfoValue> infos;          // sorted by name
 };
 
 // Percentile estimate from the fixed buckets, q in [0, 1]: the target
@@ -129,7 +138,16 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
-  // Zeroes every registered metric (names and handles survive).
+  // Sets (or replaces) a constant info metric — a build_info-style
+  // value-1-with-labels gauge carrying a string fact (e.g.
+  // simd.dispatch{mode="avx2"}). Exported by the Prometheus exposition
+  // and the JSON run report; survives ResetAll (it describes the
+  // process, not a run).
+  void SetInfo(const std::string& name, const std::string& label,
+               const std::string& value);
+
+  // Zeroes every registered metric (names and handles survive; info
+  // metrics are process facts and are kept).
   void ResetAll();
 
  private:
@@ -146,6 +164,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<MetricsSnapshot::InfoValue> infos_;
 };
 
 }  // namespace dd::obs

@@ -86,6 +86,15 @@ std::string MetricsSnapshotToJson(const MetricsSnapshot& metrics) {
     out += "\":";
     out += StrFormat("%.6f", metrics.gauges[i].value);
   }
+  out += "},\"infos\":{";
+  for (std::size_t i = 0; i < metrics.infos.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += JsonEscape(metrics.infos[i].name);
+    out += "\":\"";
+    out += JsonEscape(metrics.infos[i].value);
+    out += "\"";
+  }
   out += "},\"histograms\":{";
   for (std::size_t i = 0; i < metrics.histograms.size(); ++i) {
     const auto& h = metrics.histograms[i];
@@ -198,6 +207,15 @@ std::string RunReportToText(const RunReport& report) {
     }
     out += StrFormat("  %-40s %llu\n", c.name.c_str(),
                      static_cast<unsigned long long>(c.value));
+  }
+  header = false;
+  for (const auto& info : report.metrics.infos) {
+    if (!header) {
+      out += "info:\n";
+      header = true;
+    }
+    out += StrFormat("  %-40s %s=%s\n", info.name.c_str(), info.label.c_str(),
+                     info.value.c_str());
   }
   header = false;
   for (const auto& g : report.metrics.gauges) {

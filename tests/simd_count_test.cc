@@ -1,0 +1,311 @@
+// Equivalence and bit-identity tests for the SIMD counting kernels
+// (core/simd_count.h). The contract under test is absolute: the AVX2
+// kernels must produce exactly the scalar kernels' outputs — counts,
+// row lists (including order), grid indices — for every packing, bound
+// pattern, range alignment and length, and therefore full determination
+// runs must be bit-identical under DD_SIMD=scalar and auto at any
+// thread count.
+
+#include "core/simd_count.h"
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/determiner.h"
+#include "obs/metrics.h"
+#include "tests/test_util.h"
+
+namespace dd {
+namespace {
+
+using simd::ColumnView;
+using simd::internal::Avx2Kernels;
+using simd::internal::kScalarKernels;
+using simd::internal::KernelTable;
+
+PackedColumn MakeColumn(int dmax, const std::vector<Level>& levels) {
+  PackedColumn column(dmax);
+  for (Level v : levels) column.PushBack(v);
+  return column;
+}
+
+std::vector<Level> RandomLevels(std::size_t rows, int dmax, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(0, dmax);
+  std::vector<Level> levels(rows);
+  for (auto& v : levels) v = static_cast<Level>(dist(rng));
+  return levels;
+}
+
+struct Fixture {
+  std::vector<PackedColumn> columns;
+  std::vector<ColumnView> views;
+  std::vector<std::uint8_t> bounds;
+};
+
+Fixture MakeFixture(std::size_t num_views, std::size_t rows, int dmax,
+                    std::uint32_t seed) {
+  Fixture f;
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> bound_dist(0, dmax);
+  for (std::size_t i = 0; i < num_views; ++i) {
+    f.columns.push_back(
+        MakeColumn(dmax, RandomLevels(rows, dmax, seed + 1000 * (i + 1))));
+    f.bounds.push_back(static_cast<std::uint8_t>(bound_dist(rng)));
+  }
+  for (const PackedColumn& c : f.columns) f.views.push_back(simd::View(c));
+  return f;
+}
+
+// Reference results straight from ViewLevel, independent of either
+// kernel implementation.
+std::uint64_t BruteCount(const Fixture& f, std::size_t begin,
+                         std::size_t end) {
+  std::uint64_t count = 0;
+  for (std::size_t row = begin; row < end; ++row) {
+    bool ok = true;
+    for (std::size_t i = 0; i < f.views.size(); ++i) {
+      if (simd::ViewLevel(f.views[i], row) > f.bounds[i]) ok = false;
+    }
+    if (ok) ++count;
+  }
+  return count;
+}
+
+void CheckAllKernels(const Fixture& f, std::size_t begin, std::size_t end,
+                     const std::string& label) {
+  const std::uint64_t expected = BruteCount(f, begin, end);
+  std::vector<std::uint32_t> expected_rows;
+  kScalarKernels.collect_leq(f.views.data(), f.bounds.data(), f.views.size(),
+                             begin, end, &expected_rows);
+  ASSERT_EQ(expected_rows.size(), expected) << label;
+  ASSERT_EQ(kScalarKernels.count_leq(f.views.data(), f.bounds.data(),
+                                     f.views.size(), begin, end),
+            expected)
+      << label;
+  // The collected list must be ascending with no duplicates.
+  for (std::size_t i = 1; i < expected_rows.size(); ++i) {
+    ASSERT_LT(expected_rows[i - 1], expected_rows[i]) << label;
+  }
+  if (!simd::CpuSupportsAvx2()) return;
+  const KernelTable* avx2 = Avx2Kernels();
+  ASSERT_NE(avx2, nullptr);
+  EXPECT_EQ(avx2->count_leq(f.views.data(), f.bounds.data(), f.views.size(),
+                            begin, end),
+            expected)
+      << label;
+  std::vector<std::uint32_t> avx2_rows;
+  avx2->collect_leq(f.views.data(), f.bounds.data(), f.views.size(), begin,
+                    end, &avx2_rows);
+  EXPECT_EQ(avx2_rows, expected_rows) << label;
+}
+
+TEST(SimdCountTest, RandomizedEquivalenceAcrossDmaxAndLengths) {
+  // dmax 1/4/14 exercise the 4-bit packing (14 is its edge), 200 the
+  // 8-bit path with bounds above 127 (signedness trap for cmpgt-based
+  // idioms).
+  const int dmaxes[] = {1, 4, 14, 200};
+  const std::size_t lengths[] = {0,  1,  2,  3,   31,   32,   33,  63,
+                                 64, 65, 127, 129, 1000, 4097, 10000};
+  std::uint32_t seed = 7;
+  for (int dmax : dmaxes) {
+    for (std::size_t rows : lengths) {
+      for (std::size_t num_views : {std::size_t{1}, std::size_t{3}}) {
+        Fixture f = MakeFixture(num_views, rows, dmax, ++seed);
+        const std::string label = "dmax=" + std::to_string(dmax) +
+                                  " rows=" + std::to_string(rows) +
+                                  " views=" + std::to_string(num_views);
+        CheckAllKernels(f, 0, rows, label + " full");
+        if (rows >= 3) {
+          // Unaligned head (odd begin) and tail.
+          CheckAllKernels(f, 1, rows - 1, label + " inner");
+          CheckAllKernels(f, rows / 3, rows - rows / 4, label + " mid");
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdCountTest, AllMatchAndNoMatchEdges) {
+  for (int dmax : {1, 14, 200}) {
+    const std::size_t rows = 1337;
+    // Every level at dmax: bound dmax-? decides everything at once.
+    Fixture f;
+    f.columns.push_back(
+        MakeColumn(dmax, std::vector<Level>(rows, static_cast<Level>(dmax))));
+    f.views.push_back(simd::View(f.columns[0]));
+    f.bounds.push_back(static_cast<std::uint8_t>(dmax));
+    CheckAllKernels(f, 0, rows, "all-match dmax=" + std::to_string(dmax));
+    ASSERT_EQ(BruteCount(f, 0, rows), rows);
+    f.bounds[0] = static_cast<std::uint8_t>(dmax - 1);
+    CheckAllKernels(f, 0, rows, "no-match dmax=" + std::to_string(dmax));
+    ASSERT_EQ(BruteCount(f, 0, rows), 0u);
+  }
+}
+
+TEST(SimdCountTest, ZeroViewsCountsEveryRow) {
+  Fixture f = MakeFixture(1, 100, 5, 3);
+  EXPECT_EQ(kScalarKernels.count_leq(nullptr, nullptr, 0, 10, 90), 80u);
+  if (simd::CpuSupportsAvx2()) {
+    EXPECT_EQ(Avx2Kernels()->count_leq(nullptr, nullptr, 0, 10, 90), 80u);
+  }
+}
+
+TEST(SimdCountTest, GridIndicesMatchBruteForce) {
+  const int dmaxes[] = {4, 14, 200};
+  std::uint32_t seed = 31;
+  for (int dmax : dmaxes) {
+    const std::size_t base = static_cast<std::size_t>(dmax) + 1;
+    for (std::size_t rows : {std::size_t{0}, std::size_t{1}, std::size_t{33},
+                             std::size_t{257}, std::size_t{5000}}) {
+      Fixture f = MakeFixture(3, rows, dmax, ++seed);
+      std::vector<std::uint32_t> strides = {
+          1, static_cast<std::uint32_t>(base),
+          static_cast<std::uint32_t>(base * base)};
+      for (auto [begin, end] :
+           {std::pair<std::size_t, std::size_t>{0, rows},
+            std::pair<std::size_t, std::size_t>{rows / 3, rows}}) {
+        if (begin > end) continue;
+        std::vector<std::uint32_t> expected(end - begin);
+        for (std::size_t row = begin; row < end; ++row) {
+          std::uint32_t idx = 0;
+          for (std::size_t i = 0; i < 3; ++i) {
+            idx += static_cast<std::uint32_t>(
+                       simd::ViewLevel(f.views[i], row)) *
+                   strides[i];
+          }
+          expected[row - begin] = idx;
+        }
+        std::vector<std::uint32_t> scalar_out(end - begin, 0xFFFFFFFF);
+        kScalarKernels.grid_indices(f.views.data(), strides.data(), 3, begin,
+                                    end, scalar_out.data());
+        ASSERT_EQ(scalar_out, expected) << "dmax=" << dmax << " rows=" << rows
+                                        << " begin=" << begin;
+        if (simd::CpuSupportsAvx2()) {
+          std::vector<std::uint32_t> avx2_out(end - begin, 0xFFFFFFFF);
+          Avx2Kernels()->grid_indices(f.views.data(), strides.data(), 3,
+                                      begin, end, avx2_out.data());
+          EXPECT_EQ(avx2_out, expected) << "dmax=" << dmax << " rows=" << rows
+                                        << " begin=" << begin;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdCountTest, ParseSimdMode) {
+  simd::SimdMode mode = simd::SimdMode::kAuto;
+  EXPECT_TRUE(simd::ParseSimdMode("scalar", &mode));
+  EXPECT_EQ(mode, simd::SimdMode::kScalar);
+  EXPECT_TRUE(simd::ParseSimdMode("avx2", &mode));
+  EXPECT_EQ(mode, simd::SimdMode::kAvx2);
+  EXPECT_TRUE(simd::ParseSimdMode("auto", &mode));
+  EXPECT_EQ(mode, simd::SimdMode::kAuto);
+  EXPECT_FALSE(simd::ParseSimdMode("sse9", &mode));
+  EXPECT_FALSE(simd::ParseSimdMode("", &mode));
+  EXPECT_EQ(mode, simd::SimdMode::kAuto);  // untouched on failure
+}
+
+TEST(SimdCountTest, DispatchPublishesInfoMetric) {
+  simd::SetSimdMode(simd::SimdMode::kScalar);
+  EXPECT_STREQ(simd::ActiveSimdDispatch(), "scalar");
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  bool found = false;
+  for (const auto& info : snapshot.infos) {
+    if (info.name == "simd.dispatch") {
+      found = true;
+      EXPECT_EQ(info.label, "mode");
+      EXPECT_EQ(info.value, "scalar");
+    }
+  }
+  EXPECT_TRUE(found);
+  // Forcing avx2 must resolve to avx2 on capable hosts and fall back
+  // to scalar (not crash) elsewhere.
+  simd::SetSimdMode(simd::SimdMode::kAvx2);
+  EXPECT_STREQ(simd::ActiveSimdDispatch(),
+               simd::CpuSupportsAvx2() ? "avx2" : "scalar");
+  simd::internal::ResetDispatchForTest();
+}
+
+TEST(SimdCountTest, EnvironmentVariableSelectsDispatch) {
+  const char* saved = std::getenv("DD_SIMD");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  setenv("DD_SIMD", "scalar", 1);
+  simd::internal::ResetDispatchForTest();
+  EXPECT_STREQ(simd::ActiveSimdDispatch(), "scalar");
+  // An invalid value degrades to auto with a warning.
+  setenv("DD_SIMD", "bogus", 1);
+  simd::internal::ResetDispatchForTest();
+  EXPECT_STREQ(simd::ActiveSimdDispatch(),
+               simd::CpuSupportsAvx2() ? "avx2" : "scalar");
+  if (saved == nullptr) {
+    unsetenv("DD_SIMD");
+  } else {
+    setenv("DD_SIMD", saved_value.c_str(), 1);
+  }
+  simd::internal::ResetDispatchForTest();
+}
+
+// ---------------------------------------------------------------------
+// Determination bit-identity: DD_SIMD=scalar and auto runs must agree
+// exactly — thresholds, utilities, counts, provider stats — at every
+// thread count (the ISSUE-10 acceptance bar). Mirrors the contract of
+// ParallelDeterminismTest (tests/parallel_test.cc).
+
+void ExpectSameResult(const DetermineResult& a, const DetermineResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.patterns.size(), b.patterns.size()) << label;
+  for (std::size_t p = 0; p < a.patterns.size(); ++p) {
+    EXPECT_EQ(a.patterns[p].pattern.lhs, b.patterns[p].pattern.lhs) << label;
+    EXPECT_EQ(a.patterns[p].pattern.rhs, b.patterns[p].pattern.rhs) << label;
+    EXPECT_EQ(a.patterns[p].utility, b.patterns[p].utility) << label;
+    EXPECT_EQ(a.patterns[p].measures.xy_count, b.patterns[p].measures.xy_count)
+        << label;
+    EXPECT_EQ(a.patterns[p].measures.lhs_count,
+              b.patterns[p].measures.lhs_count)
+        << label;
+  }
+  EXPECT_EQ(a.prior_mean_cq, b.prior_mean_cq) << label;
+  EXPECT_EQ(a.provider_stats.lhs_evaluations, b.provider_stats.lhs_evaluations)
+      << label;
+  EXPECT_EQ(a.provider_stats.xy_evaluations, b.provider_stats.xy_evaluations)
+      << label;
+  EXPECT_EQ(a.provider_stats.rows_scanned, b.provider_stats.rows_scanned)
+      << label;
+}
+
+TEST(SimdCountTest, DeterminationBitIdenticalAcrossDispatchAndThreads) {
+  if (!simd::CpuSupportsAvx2()) {
+    GTEST_SKIP() << "no AVX2: scalar vs auto are the same kernels";
+  }
+  MatchingRelation m = testutil::RandomMatching(3, 7, 900, 4242);
+  const RuleSpec rule{{"a0", "a1"}, {"a2"}};
+  std::vector<std::size_t> thread_counts = {1, 2, 7};
+  if (DefaultThreads() > 1) thread_counts.push_back(DefaultThreads());
+  for (const char* provider : {"scan", "scan_subset", "grid"}) {
+    for (std::size_t threads : thread_counts) {
+      DetermineOptions options;
+      options.provider = provider;
+      options.top_l = 3;
+      options.threads = threads;
+      simd::SetSimdMode(simd::SimdMode::kScalar);
+      auto scalar_result = DetermineThresholds(m, rule, options);
+      ASSERT_TRUE(scalar_result.ok());
+      simd::SetSimdMode(simd::SimdMode::kAuto);
+      auto auto_result = DetermineThresholds(m, rule, options);
+      ASSERT_TRUE(auto_result.ok());
+      ExpectSameResult(*scalar_result, *auto_result,
+                       std::string(provider) + " threads=" +
+                           std::to_string(threads));
+    }
+  }
+  simd::internal::ResetDispatchForTest();
+}
+
+}  // namespace
+}  // namespace dd

@@ -43,6 +43,8 @@
 // equivalently) sets the worker-pool concurrency for the matching
 // build and the determination search — results are bit-identical at
 // any thread count, N=1 forces the sequential paths.
+// --simd auto|avx2|scalar (any subcommand; DD_SIMD equivalently)
+// selects the counting-kernel dispatch — bit-identical either way.
 //   ddtool discover  --input clean.csv [--max-lhs 2] [--top 10]
 //                    [--dmax 10] [--max-pairs 50000]
 //                    [--approx] [--sample_target 100000] [--seed 7]
@@ -133,6 +135,7 @@
 #include "core/determiner.h"
 #include "core/result_filter.h"
 #include "core/result_io.h"
+#include "core/simd_count.h"
 #include "incr/maintenance.h"
 #include "data/corruptor.h"
 #include "data/csv.h"
@@ -1344,6 +1347,20 @@ int main(int argc, char** argv) {
       return Fail(dd::Status::InvalidArgument("--threads must be >= 0"));
     }
     dd::SetDefaultThreads(static_cast<std::size_t>(*threads));
+  }
+  // --simd applies to every subcommand: it picks the counting-kernel
+  // dispatch (core/simd_count.h), overriding the DD_SIMD environment
+  // variable. Both kernel sets count identically, so results are
+  // bit-identical at any value; the resolved choice appears as the
+  // simd.dispatch info metric in /metrics and the JSON run report.
+  if (args.Has("simd")) {
+    const std::string simd = args.GetString("simd");
+    dd::simd::SimdMode mode;
+    if (!dd::simd::ParseSimdMode(simd, &mode)) {
+      return Fail(dd::Status::InvalidArgument(
+          "--simd must be auto, avx2 or scalar (got \"" + simd + "\")"));
+    }
+    dd::simd::SetSimdMode(mode);
   }
   // Pool-stats recording turns on whenever the run produces an
   // observability artifact that can surface it (--pool_stats forces it
